@@ -1,0 +1,116 @@
+"""Shared machinery for the experiment benches.
+
+Every bench builds small simulated systems, runs a workload, and renders
+the series its paper claim predicts as a table.  Tables are printed (run
+pytest with ``-s`` to see them) and appended to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.dash.system import DashSystem
+from repro.metrics.report import Table
+from repro.subtransport.config import StConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = [
+    "Table",
+    "best_effort_params",
+    "build_lan",
+    "build_wan",
+    "open_st_rms",
+    "report",
+]
+
+
+def report(experiment: str, table: Table) -> str:
+    """Print a bench table and persist it under benchmarks/results/."""
+    text = str(table)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def build_lan(
+    seed: int = 0,
+    st_config: Optional[StConfig] = None,
+    nodes=("a", "b"),
+    cpu_policy: str = "edf",
+    **net_kwargs,
+) -> DashSystem:
+    """A DASH system on one Ethernet segment."""
+    defaults = dict(trusted=True)
+    defaults.update(net_kwargs)
+    system = DashSystem(seed=seed, st_config=st_config, cpu_policy=cpu_policy)
+    system.add_ethernet(**defaults)
+    for name in nodes:
+        system.add_node(name)
+    return system
+
+
+def build_wan(
+    seed: int = 0,
+    propagation: float = 0.01,
+    trunk_bandwidth: float = 1.25e5,
+    access_bandwidth: float = 2.5e5,
+    trunk_buffer: int = 16 * 1024,
+    senders=("a",),
+    receiver: str = "z",
+    st_config: Optional[StConfig] = None,
+    **net_kwargs,
+) -> DashSystem:
+    """A DASH system on a dumbbell internetwork.
+
+    ``senders`` each get an access link to gateway g1; the g1-g2 trunk is
+    the shared bottleneck; ``receiver`` hangs off g2.
+    """
+    defaults = dict(trusted=True)
+    defaults.update(net_kwargs)
+    system = DashSystem(seed=seed, st_config=st_config)
+    internet = system.add_internet(**defaults)
+    internet.add_router("g1")
+    internet.add_router("g2")
+    for name in senders:
+        system.add_node(name)
+        internet.add_link(name, "g1", bandwidth=access_bandwidth,
+                          propagation_delay=0.001)
+    system.add_node(receiver)
+    internet.add_link("g1", "g2", bandwidth=trunk_bandwidth,
+                      propagation_delay=propagation,
+                      buffer_bytes=trunk_buffer)
+    internet.add_link("g2", receiver, bandwidth=access_bandwidth,
+                      propagation_delay=0.001)
+    return system
+
+
+def best_effort_params(
+    capacity: int = 32 * 1024,
+    mms: int = 4000,
+    delay: float = 0.1,
+) -> RmsParams:
+    return RmsParams(
+        capacity=capacity,
+        max_message_size=mms,
+        delay_bound=DelayBound(delay, 1e-5),
+        delay_bound_type=DelayBoundType.BEST_EFFORT,
+    )
+
+
+def open_st_rms(system: DashSystem, sender: str, receiver: str,
+                params: Optional[RmsParams] = None, port: str = "bench",
+                fast_ack: bool = False, extra_time: float = 2.0):
+    """Create an ST RMS between two nodes and wait for it."""
+    params = params or best_effort_params()
+    future = system.nodes[sender].st.create_st_rms(
+        receiver, port=port, desired=params, acceptable=params,
+        fast_ack=fast_ack,
+    )
+    system.run(until=system.now + extra_time)
+    return future.result()

@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+The benches are experiments, not micro-benchmarks: each runs one
+simulation per measurement.  ``run_once`` wraps pytest-benchmark's
+pedantic mode so every experiment executes exactly once per session.
+"""
+
+from __future__ import annotations
+
+import sys
+import os
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Run every experiment and print its table, without pytest.
+
+Usage:  python benchmarks/run_all.py [e01 e05 ...]
+
+With no arguments, runs E1 through E15 in order.  Each experiment module
+exposes ``run_experiment()`` and ``render(...)``; this runner simply
+chains them, so the output matches what the pytest benches assert on.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+EXPERIMENTS = [
+    "bench_e01_portability",
+    "bench_e02_security_elision",
+    "bench_e03_capacity_bandwidth",
+    "bench_e04_piggybacking",
+    "bench_e05_deadline_scheduling",
+    "bench_e06_flow_control",
+    "bench_e07_rms_caching",
+    "bench_e08_admission",
+    "bench_e09_rkom_vs_baselines",
+    "bench_e10_fragmentation",
+    "bench_e11_congestion",
+    "bench_e12_application_mix",
+    "bench_e13_fast_ack",
+    "bench_e14_mux_rules_ablation",
+    "bench_e15_downward_mux",
+]
+
+
+def main(argv) -> int:
+    wanted = [arg.lower() for arg in argv[1:]]
+    failures = 0
+    for name in EXPERIMENTS:
+        tag = name.split("_")[1]  # e01, e02, ...
+        if wanted and tag not in wanted:
+            continue
+        module = importlib.import_module(name)
+        started = time.time()
+        try:
+            result = module.run_experiment()
+            rendered = module.render(result)
+        except Exception as error:  # noqa: BLE001 - report and continue
+            print(f"!! {name} failed: {error}")
+            failures += 1
+            continue
+        elapsed = time.time() - started
+        if isinstance(rendered, tuple):
+            for table in rendered:
+                print(table)
+                print()
+        else:
+            print(rendered)
+        print(f"[{tag}: {elapsed:.1f}s]\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

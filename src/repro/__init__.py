@@ -1,0 +1,96 @@
+"""Reproduction of D. P. Anderson, *A Software Architecture for Network
+Communication* (UC Berkeley TR, 1987 / ICDCS 1988).
+
+The package implements the paper's Real-Time Message Stream (RMS)
+abstraction and the DASH communication architecture built on it, over a
+from-scratch discrete-event network simulator:
+
+- :mod:`repro.core` -- RMS parameters, negotiation, the RMS base classes;
+- :mod:`repro.sim` -- the discrete-event substrate;
+- :mod:`repro.sched` -- deadline-based CPU and interface scheduling;
+- :mod:`repro.security` -- checksums, toy ciphers, MACs, keys;
+- :mod:`repro.netsim` -- simulated Ethernet/internetwork with admission
+  control and network-level RMS;
+- :mod:`repro.subtransport` -- the ST layer: control channel, caching,
+  multiplexing, piggybacking, fragmentation, security elision;
+- :mod:`repro.transport` -- RKOM request/reply, stream protocols, flow
+  control, sub-user/user RMS levels;
+- :mod:`repro.baselines` -- datagrams, TCP-like stream, datagram RPC;
+- :mod:`repro.apps` -- voice/video/window/bulk/RPC workloads;
+- :mod:`repro.metrics` -- statistics and table rendering;
+- :mod:`repro.dash` -- whole-system assembly.
+
+Quickstart::
+
+    from repro import DashSystem
+
+    system = DashSystem(seed=1)
+    system.add_ethernet(trusted=True)
+    a = system.add_node("a")
+    b = system.add_node("b")
+    future = a.create_st_rms(b, port="app")
+    system.run(until=1.0)
+    rms = future.result()
+    rms.port.set_handler(lambda m: print("got", m.size, "bytes"))
+    rms.send(b"hello DASH")
+    system.run(until=2.0)
+"""
+
+from repro.core import (
+    DelayBound,
+    DelayBoundType,
+    Label,
+    Message,
+    Rms,
+    RmsLevel,
+    RmsParams,
+    StatisticalSpec,
+    is_compatible,
+    negotiate,
+)
+from repro.dash import DashNode, DashSystem
+from repro.errors import (
+    AdmissionError,
+    NegotiationError,
+    ReproError,
+    RmsError,
+    RmsFailedError,
+)
+from repro.sim import SimContext
+from repro.subtransport import StConfig, SubtransportLayer
+from repro.transport import (
+    FlowControlMode,
+    RkomService,
+    StreamConfig,
+    open_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionError",
+    "DashNode",
+    "DashSystem",
+    "DelayBound",
+    "DelayBoundType",
+    "FlowControlMode",
+    "Label",
+    "Message",
+    "NegotiationError",
+    "ReproError",
+    "Rms",
+    "RmsError",
+    "RmsFailedError",
+    "RmsLevel",
+    "RmsParams",
+    "RkomService",
+    "SimContext",
+    "StConfig",
+    "StatisticalSpec",
+    "StreamConfig",
+    "SubtransportLayer",
+    "open_stream",
+    "__version__",
+    "is_compatible",
+    "negotiate",
+]

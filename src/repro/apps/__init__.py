@@ -1,0 +1,34 @@
+"""Application workloads: voice, video, window system, bulk, RPC."""
+
+from repro.apps.bulk import BulkReport, BulkTransfer
+from repro.apps.media import (
+    MediaReport,
+    VideoStream,
+    VoiceCall,
+    voice_rms_params,
+)
+from repro.apps.rpcload import RpcReport, RpcWorkload
+from repro.apps.sources import PeriodicSource, PoissonSource
+from repro.apps.window import (
+    WindowReport,
+    WindowSystemWorkload,
+    event_rms_params,
+    graphics_rms_params,
+)
+
+__all__ = [
+    "BulkReport",
+    "BulkTransfer",
+    "MediaReport",
+    "PeriodicSource",
+    "PoissonSource",
+    "RpcReport",
+    "RpcWorkload",
+    "VideoStream",
+    "VoiceCall",
+    "WindowReport",
+    "WindowSystemWorkload",
+    "event_rms_params",
+    "graphics_rms_params",
+    "voice_rms_params",
+]

@@ -1,0 +1,97 @@
+"""Bulk data transfer workload (paper section 2.5).
+
+"A stream protocol for bulk data transfer should use a high capacity,
+high delay RMS for data."  Drives a :class:`StreamSession` as fast as
+its flow-control gates allow and reports goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.context import SimContext
+from repro.transport.stream import StreamSession
+
+__all__ = ["BulkTransfer", "BulkReport"]
+
+
+@dataclass
+class BulkReport:
+    """Outcome of one bulk transfer."""
+
+    offered_messages: int
+    delivered_messages: int
+    consumed_messages: int
+    bytes_delivered: int
+    elapsed: float
+    retransmissions: int
+    receiver_drops: int
+
+    @property
+    def goodput(self) -> float:
+        return self.bytes_delivered / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class BulkTransfer:
+    """Pushes ``total_messages`` of ``message_size`` through a stream.
+
+    The consumer drains the receive side at ``consume_rate`` messages
+    per second (None = as fast as they arrive), which is the knob the
+    flow-control experiments turn.
+    """
+
+    def __init__(
+        self,
+        context: SimContext,
+        session: StreamSession,
+        total_messages: int,
+        message_size: int = 1024,
+        consume_rate: float = None,
+    ) -> None:
+        self.context = context
+        self.session = session
+        self.total_messages = total_messages
+        self.message_size = message_size
+        self.consume_rate = consume_rate
+        self.consumed = 0
+        self.started_at = context.now
+        self.finished_at = None
+        self.producer = context.spawn(self._produce(), name="bulk-producer")
+        self.consumer = context.spawn(self._consume(), name="bulk-consumer")
+
+    def _produce(self):
+        for index in range(self.total_messages):
+            if self.session.failed:
+                return index
+            payload = bytes([index % 256]) * self.message_size
+            accepted = self.session.send(payload)
+            if not accepted.done:
+                yield accepted  # sender flow control pushed back
+        return self.total_messages
+
+    def _consume(self):
+        while self.consumed < self.total_messages:
+            if self.session.failed:
+                break
+            message = yield self.session.receive()
+            self.consumed += 1
+            if self.consume_rate is not None:
+                yield 1.0 / self.consume_rate
+        self.finished_at = self.context.now
+        return self.consumed
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    def report(self) -> BulkReport:
+        end = self.finished_at if self.finished_at is not None else self.context.now
+        return BulkReport(
+            offered_messages=self.total_messages,
+            delivered_messages=self.session.stats.messages_delivered,
+            consumed_messages=self.consumed,
+            bytes_delivered=self.session.stats.bytes_delivered,
+            elapsed=end - self.started_at,
+            retransmissions=self.session.stats.retransmissions,
+            receiver_drops=self.session.stats.receiver_overflow_drops,
+        )

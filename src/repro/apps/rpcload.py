@@ -1,0 +1,87 @@
+"""Request/reply workload: closed-loop RPC clients.
+
+Drives any request/reply service exposing ``call(peer, op, payload) ->
+Future`` (both :class:`repro.transport.rkom.RkomService` and the
+datagram-RPC baseline qualify), measuring round-trip latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.metrics.stats import SummaryStats, summarize
+from repro.sim.context import SimContext
+
+__all__ = ["RpcWorkload", "RpcReport"]
+
+
+@dataclass
+class RpcReport:
+    """Latency summary of one RPC workload run."""
+
+    calls_attempted: int
+    calls_completed: int
+    calls_failed: int
+    rtt: SummaryStats
+
+
+class RpcWorkload:
+    """``clients`` closed-loop callers, each issuing ``calls_per_client``
+    requests with exponential think time between them."""
+
+    def __init__(
+        self,
+        context: SimContext,
+        service,
+        peer_host: str,
+        op: str = "echo",
+        clients: int = 1,
+        calls_per_client: int = 20,
+        request_bytes: int = 64,
+        think_time: float = 0.01,
+        rng_name: str = "rpc-load",
+    ) -> None:
+        self.context = context
+        self.service = service
+        self.peer_host = peer_host
+        self.op = op
+        self.request_bytes = request_bytes
+        self.think_time = think_time
+        self.rtts: List[float] = []
+        self.failed = 0
+        self.attempted = 0
+        self._rng = context.rng.stream(rng_name)
+        self.processes = [
+            context.spawn(
+                self._client(index, calls_per_client), name=f"rpc-client-{index}"
+            )
+            for index in range(clients)
+        ]
+
+    def _client(self, index: int, calls: int):
+        payload = bytes([index % 256]) * self.request_bytes
+        for _ in range(calls):
+            if self.think_time > 0:
+                yield self._rng.expovariate(1.0 / self.think_time)
+            start = self.context.now
+            self.attempted += 1
+            try:
+                yield self.service.call(self.peer_host, self.op, payload)
+            except Exception:  # noqa: BLE001 - timeouts count as failures
+                self.failed += 1
+                continue
+            self.rtts.append(self.context.now - start)
+        return len(self.rtts)
+
+    @property
+    def done(self) -> bool:
+        return all(process.done for process in self.processes)
+
+    def report(self) -> RpcReport:
+        return RpcReport(
+            calls_attempted=self.attempted,
+            calls_completed=len(self.rtts),
+            calls_failed=self.failed,
+            rtt=summarize(self.rtts),
+        )

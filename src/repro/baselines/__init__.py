@@ -1,0 +1,14 @@
+"""Comparison baselines: datagrams, TCP-like stream, datagram RPC."""
+
+from repro.baselines.datagram import DatagramService
+from repro.baselines.rpc import DatagramRpc, DatagramRpcConfig
+from repro.baselines.tcp import TcpConfig, TcpLikeConnection, TcpStats
+
+__all__ = [
+    "DatagramRpc",
+    "DatagramRpcConfig",
+    "DatagramService",
+    "TcpConfig",
+    "TcpLikeConnection",
+    "TcpStats",
+]

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: Real-Time Message Streams."""
+
+from repro.core.accounting import AccountingLedger, LedgerEntry, Tariff
+from repro.core.message import Label, Message
+from repro.core.negotiation import (
+    CapabilityTable,
+    PerformanceLimits,
+    combo_key,
+    negotiate,
+)
+from repro.core.params import (
+    UNBOUNDED_DELAY,
+    DelayBound,
+    DelayBoundType,
+    RmsParams,
+    StatisticalSpec,
+    is_compatible,
+)
+from repro.core.rms import Rms, RmsLevel, RmsProvider, RmsState, RmsStats
+
+__all__ = [
+    "AccountingLedger",
+    "CapabilityTable",
+    "DelayBound",
+    "DelayBoundType",
+    "Label",
+    "LedgerEntry",
+    "Message",
+    "PerformanceLimits",
+    "Rms",
+    "RmsLevel",
+    "RmsParams",
+    "RmsProvider",
+    "RmsState",
+    "RmsStats",
+    "StatisticalSpec",
+    "Tariff",
+    "UNBOUNDED_DELAY",
+    "combo_key",
+    "is_compatible",
+    "negotiate",
+]

@@ -1,0 +1,93 @@
+"""RMS ownership and accounting (paper sections 2.4 and 5).
+
+"If there is accounting, the creator owns the RMS in the sense of being
+responsible for paying for its use" (2.4).  Section 5 sketches the
+charging model: "a fixed RMS setup cost, plus a charge determined by the
+RMS parameters, the number of bytes sent, and the RMS connect time."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.params import DelayBoundType, RmsParams
+from repro.core.rms import Rms
+
+__all__ = ["Tariff", "LedgerEntry", "AccountingLedger"]
+
+
+@dataclass(frozen=True)
+class Tariff:
+    """Prices for the section-5 charging model (arbitrary currency units)."""
+
+    setup_cost: float = 1.0
+    per_byte: float = 1e-6
+    per_second_connect: float = 0.01
+    #: Per-second premium for reserved capacity, scaled by capacity bytes.
+    per_capacity_byte_second: float = 1e-7
+    #: Multipliers reflecting that stronger guarantees reserve more.
+    type_multiplier: Dict[DelayBoundType, float] = field(
+        default_factory=lambda: {
+            DelayBoundType.BEST_EFFORT: 1.0,
+            DelayBoundType.STATISTICAL: 2.0,
+            DelayBoundType.DETERMINISTIC: 4.0,
+        }
+    )
+
+    def parameter_rate(self, params: RmsParams) -> float:
+        """Per-second charge implied by the RMS parameters."""
+        multiplier = self.type_multiplier.get(params.delay_bound_type, 1.0)
+        return (
+            self.per_second_connect
+            + self.per_capacity_byte_second * params.capacity
+        ) * multiplier
+
+
+@dataclass
+class LedgerEntry:
+    """The accumulated charge for one RMS, owned by its creator."""
+
+    owner: str
+    rms_name: str
+    setup_cost: float
+    bytes_charge: float = 0.0
+    time_charge: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.setup_cost + self.bytes_charge + self.time_charge
+
+
+class AccountingLedger:
+    """Tracks per-owner charges for a set of RMSs."""
+
+    def __init__(self, tariff: Tariff = Tariff()) -> None:
+        self.tariff = tariff
+        self.entries: List[LedgerEntry] = []
+        self._open: Dict[int, LedgerEntry] = {}
+
+    def open_rms(self, owner: str, rms: Rms) -> LedgerEntry:
+        """Record creation: the creator owns and pays (section 2.4)."""
+        entry = LedgerEntry(
+            owner=owner, rms_name=rms.name, setup_cost=self.tariff.setup_cost
+        )
+        self.entries.append(entry)
+        self._open[rms.rms_id] = entry
+        return entry
+
+    def close_rms(self, rms: Rms) -> LedgerEntry:
+        """Finalize charges from the stream's counters and connect time."""
+        entry = self._open.pop(rms.rms_id, None)
+        if entry is None:
+            raise KeyError(f"{rms.name} was never opened in this ledger")
+        entry.bytes_charge = rms.stats.bytes_sent * self.tariff.per_byte
+        entry.time_charge = rms.connect_time * self.tariff.parameter_rate(rms.params)
+        return entry
+
+    def owner_total(self, owner: str) -> float:
+        return sum(entry.total for entry in self.entries if entry.owner == owner)
+
+    @property
+    def grand_total(self) -> float:
+        return sum(entry.total for entry in self.entries)

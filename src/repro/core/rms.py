@@ -1,0 +1,260 @@
+"""The RMS abstraction itself (paper section 2).
+
+An RMS is a simplex channel with three basic properties:
+
+1. message boundaries are preserved;
+2. messages are delivered in sequence;
+3. clients are notified of an RMS failure,
+
+plus the parameter set of :mod:`repro.core.params`.  :class:`Rms` is the
+base class every provider (network layer, subtransport layer, transport
+protocols) subclasses; it implements sending rules, delivery stamping,
+failure notification, and the bookkeeping the experiments measure.
+
+Capacity enforcement is deliberately *not* done here: section 4.4 makes
+it a client responsibility ("The RMS provider is not responsible for
+detecting potential capacity violations and blocking the sender").  The
+base class only *counts* violations so experiments can show what happens
+when clients misbehave (bench E14).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.message import Label, Message
+from repro.core.params import RmsParams
+from repro.errors import MessageTooLargeError, RmsFailedError
+from repro.sim.context import SimContext
+from repro.sim.events import Signal
+from repro.sim.ports import Port
+
+__all__ = ["RmsLevel", "RmsState", "RmsStats", "Rms", "RmsProvider"]
+
+_rms_ids = itertools.count(1)
+
+
+class RmsLevel(enum.IntEnum):
+    """The RMS levels of Figure 3, bottom to top."""
+
+    NETWORK = 0
+    SUBTRANSPORT = 1
+    SUBUSER = 2
+    USER = 3
+
+
+class RmsState(enum.Enum):
+    OPEN = "open"
+    FAILED = "failed"
+    DELETED = "deleted"
+
+
+@dataclass
+class RmsStats:
+    """Counters kept by every RMS for tests and benchmarks."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0  # lost, corrupted-and-discarded, or overrun
+    messages_late: int = 0  # delivered after their delay bound
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    capacity_violations: int = 0
+    delays: List[float] = field(default_factory=list)
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays) if self.delays else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.delays) / len(self.delays) if self.delays else 0.0
+
+    @property
+    def loss_rate(self) -> float:
+        if self.messages_sent == 0:
+            return 0.0
+        return self.messages_dropped / self.messages_sent
+
+
+class Rms:
+    """Base Real-Time Message Stream.
+
+    Providers subclass and implement :meth:`_transmit`; they call
+    :meth:`_deliver` when a message reaches the receiver, and
+    :meth:`_drop` when one is lost.  Clients call :meth:`send`.
+    """
+
+    level: RmsLevel = RmsLevel.NETWORK
+
+    def __init__(
+        self,
+        context: SimContext,
+        params: RmsParams,
+        sender: Label,
+        receiver: Label,
+        name: Optional[str] = None,
+        receiver_port: Optional[Port] = None,
+    ) -> None:
+        self.context = context
+        self.params = params
+        self.sender = sender
+        self.receiver = receiver
+        self.rms_id = next(_rms_ids)
+        self.name = name or f"rms{self.rms_id}"
+        self.state = RmsState.OPEN
+        self.stats = RmsStats()
+        if receiver_port is not None:
+            self.port = receiver_port
+        else:
+            self.port = Port(context.loop, name=f"{self.name}.rx")
+        #: Fired with (rms, reason) on failure -- basic property 3.
+        self.on_failure: Signal = Signal(context.loop)
+        self.outstanding_bytes = 0
+        self._last_delivered_id = 0
+        self.created_at = context.now
+        self.closed_at: Optional[float] = None
+
+    # -- client side ------------------------------------------------------
+
+    def send(
+        self,
+        payload: Union[bytes, Message],
+        deadline: Optional[float] = None,
+    ) -> Message:
+        """Send one message on the stream.
+
+        ``payload`` may be raw bytes (a message is built with this RMS's
+        labels) or a prepared :class:`Message`.  ``deadline`` is the
+        transmission deadline used by deadline-ordered queues
+        (section 4.3.1); when omitted, providers derive one from the
+        RMS delay bound.
+        """
+        if self.state is RmsState.FAILED:
+            raise RmsFailedError(f"{self.name} has failed")
+        if self.state is RmsState.DELETED:
+            raise RmsFailedError(f"{self.name} has been deleted")
+        if isinstance(payload, Message):
+            message = payload
+        else:
+            message = Message(payload, source=self.sender, target=self.receiver)
+        if message.size > self.params.max_message_size:
+            raise MessageTooLargeError(
+                f"{self.name}: message of {message.size}B exceeds maximum "
+                f"message size {self.params.max_message_size}B"
+            )
+        message.send_time = self.context.now
+        if deadline is not None:
+            message.deadline = deadline
+        elif not self.params.delay_bound.is_unbounded:
+            message.deadline = self.context.now + self.params.delay_bound.bound_for(
+                message.size
+            )
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += message.size
+        self.outstanding_bytes += message.size
+        if self.outstanding_bytes > self.params.capacity:
+            # Client capacity violation: guarantees are void (section 4.4)
+            # but the provider does not block -- it only counts.
+            self.stats.capacity_violations += 1
+        self.context.tracer.record(
+            "rms", "send", rms=self.name, id=message.message_id, size=message.size
+        )
+        self._transmit(message)
+        return message
+
+    # -- provider side ----------------------------------------------------
+
+    def _transmit(self, message: Message) -> None:
+        """Carry ``message`` toward the receiver.  Subclasses implement."""
+        raise NotImplementedError
+
+    def _deliver(self, message: Message) -> None:
+        """Deliver ``message`` at the receiver (enqueue on the port)."""
+        if self.state is not RmsState.OPEN:
+            return
+        message.deliver_time = self.context.now
+        self.outstanding_bytes = max(0, self.outstanding_bytes - message.size)
+        self.stats.messages_delivered += 1
+        self.stats.bytes_delivered += message.size
+        delay = message.delay
+        if delay is not None:
+            self.stats.delays.append(delay)
+            if not self.params.delay_bound.is_unbounded:
+                if delay > self.params.delay_bound.bound_for(message.size) + 1e-12:
+                    self.stats.messages_late += 1
+        if message.message_id < self._last_delivered_id:
+            # In-sequence delivery is a basic property; a violation is a
+            # provider bug, surfaced loudly in tests via the trace.
+            self.context.tracer.record(
+                "rms", "out_of_order", rms=self.name, id=message.message_id
+            )
+        self._last_delivered_id = max(self._last_delivered_id, message.message_id)
+        self.context.tracer.record(
+            "rms", "deliver", rms=self.name, id=message.message_id, delay=delay
+        )
+        self.port.deliver(message)
+
+    def _drop(self, message: Message, reason: str) -> None:
+        """Record the loss of ``message`` (never delivered)."""
+        self.outstanding_bytes = max(0, self.outstanding_bytes - message.size)
+        self.stats.messages_dropped += 1
+        self.context.tracer.record(
+            "rms", "drop", rms=self.name, id=message.message_id, reason=reason
+        )
+
+    def fail(self, reason: str = "provider failure") -> None:
+        """Fail the stream and notify clients (basic property 3)."""
+        if self.state is not RmsState.OPEN:
+            return
+        self.state = RmsState.FAILED
+        self.closed_at = self.context.now
+        self.context.tracer.record("rms", "fail", rms=self.name, reason=reason)
+        self.on_failure.fire(self, reason)
+
+    def delete(self) -> None:
+        """Tear the stream down cleanly (no failure notification)."""
+        if self.state is RmsState.OPEN:
+            self.state = RmsState.DELETED
+            self.closed_at = self.context.now
+            self.context.tracer.record("rms", "delete", rms=self.name)
+
+    @property
+    def is_open(self) -> bool:
+        return self.state is RmsState.OPEN
+
+    @property
+    def connect_time(self) -> float:
+        """Seconds the stream has been (or was) open, for accounting."""
+        end = self.closed_at if self.closed_at is not None else self.context.now
+        return end - self.created_at
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name} {self.sender}->{self.receiver} "
+            f"{self.state.value}>"
+        )
+
+
+class RmsProvider:
+    """Interface of an RMS provider (network module, ST, ...).
+
+    A client at one level may be a provider at a higher level
+    (section 2); concrete providers implement :meth:`create_rms` with
+    whatever negotiation and admission control their level requires.
+    """
+
+    def create_rms(
+        self,
+        sender: Label,
+        receiver: Label,
+        desired: RmsParams,
+        acceptable: RmsParams,
+    ) -> Rms:
+        raise NotImplementedError
+
+    def delete_rms(self, rms: Rms) -> None:
+        rms.delete()

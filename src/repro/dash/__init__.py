@@ -1,0 +1,6 @@
+"""DASH node and system assembly (Figures 1-3 of the paper)."""
+
+from repro.dash.node import DashNode
+from repro.dash.system import DashSystem
+
+__all__ = ["DashNode", "DashSystem"]

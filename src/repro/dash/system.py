@@ -1,0 +1,113 @@
+"""DashSystem: one-call construction of a simulated distributed system.
+
+The benchmark harness and the examples all start from here: build a
+context, one or more networks, and a set of DASH nodes sharing a key
+realm -- the whole Figure-2 architecture, ready to run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import NetworkError
+from repro.netsim.ethernet import EthernetNetwork
+from repro.netsim.internet import InternetNetwork
+from repro.netsim.network import Network
+from repro.sched.cpu import CpuCostModel
+from repro.security.keys import KeyRegistry
+from repro.sim.context import SimContext
+from repro.subtransport.config import StConfig
+from repro.dash.node import DashNode
+from repro.transport.rkom import RkomConfig
+from repro.transport.stream import StreamConfig, open_stream
+
+__all__ = ["DashSystem"]
+
+
+class DashSystem:
+    """A complete simulated DASH deployment."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: bool = False,
+        st_config: Optional[StConfig] = None,
+        rkom_config: Optional[RkomConfig] = None,
+        cpu_policy: str = "edf",
+        cost_model: Optional[CpuCostModel] = None,
+    ) -> None:
+        self.context = SimContext(seed=seed, trace=trace)
+        self.keys = KeyRegistry()
+        self.networks: Dict[str, Network] = {}
+        self.nodes: Dict[str, DashNode] = {}
+        self.st_config = st_config
+        self.rkom_config = rkom_config
+        self.cpu_policy = cpu_policy
+        self.cost_model = cost_model
+
+    # -- construction -------------------------------------------------------
+
+    def add_ethernet(self, name: str = "ether0", **kwargs) -> EthernetNetwork:
+        network = EthernetNetwork(self.context, name=name, **kwargs)
+        self.networks[name] = network
+        return network
+
+    def add_internet(self, name: str = "internet0", **kwargs) -> InternetNetwork:
+        network = InternetNetwork(self.context, name=name, **kwargs)
+        self.networks[name] = network
+        return network
+
+    def add_node(
+        self,
+        name: str,
+        network_names: Optional[List[str]] = None,
+        st_config: Optional[StConfig] = None,
+    ) -> DashNode:
+        """Create a node attached to the named networks (default: all)."""
+        if name in self.nodes:
+            raise NetworkError(f"node {name!r} already exists")
+        if network_names is None:
+            networks = list(self.networks.values())
+        else:
+            networks = [self.networks[n] for n in network_names]
+        if not networks:
+            raise NetworkError("add a network before adding nodes")
+        node = DashNode(
+            self.context,
+            name,
+            networks,
+            key_registry=self.keys,
+            st_config=st_config or self.st_config,
+            rkom_config=self.rkom_config,
+            cpu_policy=self.cpu_policy,
+            cost_model=self.cost_model,
+        )
+        self.nodes[name] = node
+        return node
+
+    # -- conveniences -----------------------------------------------------------
+
+    def open_stream(self, sender: str, receiver: str, config: Optional[StreamConfig] = None):
+        """Open a transport stream between two named nodes."""
+        return open_stream(
+            self.context,
+            self.nodes[sender].st,
+            self.nodes[receiver].st,
+            config,
+        )
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.context.run(until=until)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        return self.context.run_until_idle(max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.context.now
+
+    def __repr__(self) -> str:
+        return (
+            f"<DashSystem nodes={sorted(self.nodes)} "
+            f"networks={sorted(self.networks)}>"
+        )

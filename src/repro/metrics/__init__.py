@@ -1,0 +1,22 @@
+"""Measurement and reporting utilities for experiments."""
+
+from repro.metrics.collectors import (
+    DeadlineScorecard,
+    DelayRecorder,
+    ThroughputMeter,
+    rms_scorecard,
+)
+from repro.metrics.report import Table, format_table
+from repro.metrics.stats import SummaryStats, percentile, summarize
+
+__all__ = [
+    "DeadlineScorecard",
+    "DelayRecorder",
+    "SummaryStats",
+    "Table",
+    "ThroughputMeter",
+    "format_table",
+    "percentile",
+    "rms_scorecard",
+    "summarize",
+]

@@ -1,0 +1,99 @@
+"""Measurement collectors attached to streams and applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.rms import Rms
+from repro.metrics.stats import SummaryStats, summarize
+
+__all__ = ["DelayRecorder", "ThroughputMeter", "DeadlineScorecard", "rms_scorecard"]
+
+
+class DelayRecorder:
+    """Collects per-message delays (seconds)."""
+
+    def __init__(self) -> None:
+        self.delays: List[float] = []
+
+    def record(self, delay: float) -> None:
+        self.delays.append(delay)
+
+    def record_message(self, message) -> None:
+        if message.delay is not None:
+            self.delays.append(message.delay)
+
+    def summary(self) -> SummaryStats:
+        return summarize(self.delays)
+
+    def jitter(self) -> float:
+        """Mean absolute successive delay difference."""
+        if len(self.delays) < 2:
+            return 0.0
+        diffs = [
+            abs(b - a) for a, b in zip(self.delays, self.delays[1:])
+        ]
+        return sum(diffs) / len(diffs)
+
+    def __len__(self) -> int:
+        return len(self.delays)
+
+
+class ThroughputMeter:
+    """Counts bytes over a window of simulated time."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.start_time = start_time
+        self.bytes = 0
+        self.messages = 0
+        self.last_time: Optional[float] = None
+
+    def record(self, size: int, now: float) -> None:
+        self.bytes += size
+        self.messages += 1
+        self.last_time = now
+
+    def throughput(self, end_time: Optional[float] = None) -> float:
+        """Bytes per second from start to ``end_time`` (or last record)."""
+        end = end_time if end_time is not None else self.last_time
+        if end is None or end <= self.start_time:
+            return 0.0
+        return self.bytes / (end - self.start_time)
+
+
+@dataclass
+class DeadlineScorecard:
+    """Delivery-quality summary of one RMS (used across benches)."""
+
+    sent: int
+    delivered: int
+    dropped: int
+    late: int
+    delay: SummaryStats
+
+    @property
+    def loss_rate(self) -> float:
+        return self.dropped / self.sent if self.sent else 0.0
+
+    @property
+    def late_rate(self) -> float:
+        return self.late / self.delivered if self.delivered else 0.0
+
+    @property
+    def on_time_fraction(self) -> float:
+        if self.sent == 0:
+            return 1.0
+        return (self.delivered - self.late) / self.sent
+
+
+def rms_scorecard(rms: Rms) -> DeadlineScorecard:
+    """Snapshot an RMS's stats into a scorecard."""
+    stats = rms.stats
+    return DeadlineScorecard(
+        sent=stats.messages_sent,
+        delivered=stats.messages_delivered,
+        dropped=stats.messages_dropped,
+        late=stats.messages_late,
+        delay=summarize(stats.delays),
+    )

@@ -1,0 +1,25 @@
+"""Simulated network substrate: media, routing, admission, network RMS."""
+
+from repro.netsim.admission import AdmissionController, Reservation
+from repro.netsim.errors_model import ImpairmentModel
+from repro.netsim.ethernet import EthernetNetwork
+from repro.netsim.internet import InternetNetwork
+from repro.netsim.network import Network, NetworkProperties, NetworkRms
+from repro.netsim.packet import FRAME_OVERHEAD_BYTES, Frame
+from repro.netsim.topology import Host, Link, LinkStats
+
+__all__ = [
+    "AdmissionController",
+    "EthernetNetwork",
+    "FRAME_OVERHEAD_BYTES",
+    "Frame",
+    "Host",
+    "ImpairmentModel",
+    "InternetNetwork",
+    "Link",
+    "LinkStats",
+    "Network",
+    "NetworkProperties",
+    "NetworkRms",
+    "Reservation",
+]

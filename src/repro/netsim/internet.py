@@ -1,0 +1,277 @@
+"""An internetwork: store-and-forward gateways over point-to-point links.
+
+Models the paper's long-haul case ("high-delay long-distance networks",
+section 1) and its congestion-control discussion: "if packet queueing in
+an internetwork gateway is done using RMS-specified deadlines, then a
+low-delay packet can be sent before high-delay packets that would
+otherwise cause it to be delivered late" (section 2.5), and "the flow
+control of TCP does not protect gateway buffers; ICMP source quench
+messages provide an ad hoc and often ineffective solution" (section
+4.4).  Gateways here queue by deadline, drop on buffer overrun, and can
+optionally emit source-quench frames for the TCP baseline (E11).
+
+Routing is shortest-path (Dijkstra) over link latency, computed from
+scratch -- no external graph library.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.message import Message
+from repro.errors import NetworkError, RoutingError
+from repro.netsim.admission import AdmissionController
+from repro.netsim.errors_model import ImpairmentModel
+from repro.netsim.network import Network, NetworkProperties
+from repro.netsim.packet import FRAME_OVERHEAD_BYTES, Frame
+from repro.netsim.topology import Link
+from repro.sim.context import SimContext
+
+__all__ = ["InternetNetwork"]
+
+
+class InternetNetwork(Network):
+    """A routed network of hosts and gateways.
+
+    Nodes are host names (attached via :meth:`attach`) or router names
+    (added via :meth:`add_router`).  :meth:`add_link` wires two nodes
+    with a pair of simplex links, each with its own bandwidth,
+    propagation delay, buffer, and admission pool.
+    """
+
+    def __init__(
+        self,
+        context: SimContext,
+        name: str = "internet0",
+        mtu: int = 576,
+        trusted: bool = False,
+        link_encryption: bool = False,
+        link_checksum: bool = True,
+        supports_guarantees: bool = True,
+        source_quench: bool = False,
+        quench_threshold: float = 0.75,
+        queue_policy: str = "edf",
+    ) -> None:
+        properties = NetworkProperties(
+            trusted=trusted,
+            physical_broadcast=False,
+            link_encryption=link_encryption,
+            link_checksum=link_checksum,
+            mtu=mtu,
+            supports_guarantees=supports_guarantees,
+        )
+        super().__init__(context, name, properties)
+        self.routers: Set[str] = set()
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._pools: Dict[Tuple[str, str], AdmissionController] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+        self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+        self.queue_policy = queue_policy
+        self.source_quench = source_quench
+        self.quench_threshold = quench_threshold
+        self.quenches_sent = 0
+
+    # -- topology construction ------------------------------------------------
+
+    def add_router(self, name: str) -> None:
+        """Add an interior gateway node."""
+        if name in self.hosts:
+            raise NetworkError(f"{name!r} is already a host on this network")
+        self.routers.add(name)
+        self._adjacency.setdefault(name, [])
+
+    def _node_exists(self, name: str) -> bool:
+        return name in self.hosts or name in self.routers
+
+    def add_link(
+        self,
+        node_a: str,
+        node_b: str,
+        bandwidth: float = 7000.0,  # bytes/second (56 kbit/s trunk)
+        propagation_delay: float = 0.01,
+        buffer_bytes: int = 16 * 1024,
+        bit_error_rate: float = 0.0,
+        frame_loss_rate: float = 0.0,
+    ) -> Tuple[Link, Link]:
+        """Connect two nodes with simplex links in both directions."""
+        for node in (node_a, node_b):
+            if not self._node_exists(node):
+                raise NetworkError(f"unknown node {node!r}; attach or add_router first")
+        if (node_a, node_b) in self._links:
+            raise NetworkError(f"link {node_a}<->{node_b} already exists")
+        links = []
+        for src, dst in ((node_a, node_b), (node_b, node_a)):
+            link = Link(
+                self.context,
+                name=f"{self.name}.{src}->{dst}",
+                bandwidth=bandwidth,
+                propagation_delay=propagation_delay,
+                buffer_bytes=buffer_bytes,
+                policy=self.queue_policy,
+                impairment=ImpairmentModel(
+                    bit_error_rate=bit_error_rate, frame_loss_rate=frame_loss_rate
+                ),
+            )
+            self._links[(src, dst)] = link
+            self._pools[(src, dst)] = AdmissionController(
+                total_bandwidth=bandwidth, total_buffer_bytes=buffer_bytes
+            )
+            link.on_down.listen(self._make_down_handler(src, dst))
+            if self.source_quench:
+                link.on_overrun = self._make_overrun_handler(src, dst)
+            links.append(link)
+        self._adjacency.setdefault(node_a, []).append(node_b)
+        self._adjacency.setdefault(node_b, []).append(node_a)
+        self._route_cache.clear()
+        self.medium_bit_error_rate = max(
+            self.medium_bit_error_rate, bit_error_rate
+        )
+        return links[0], links[1]
+
+    def link(self, src: str, dst: str) -> Link:
+        """The simplex link from ``src`` to ``dst``."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise NetworkError(f"no link {src}->{dst} in {self.name}") from None
+
+    def _make_down_handler(self, src: str, dst: str) -> Callable[[Link], None]:
+        def on_down(_link: Link) -> None:
+            self._route_cache.clear()
+            self._fail_rms_on_route((src, dst), f"link {src}->{dst} down")
+
+        return on_down
+
+    def _make_overrun_handler(self, src: str, dst: str) -> Callable[[Frame], None]:
+        def on_overrun(frame: Frame) -> None:
+            self._send_quench(frame)
+
+        return on_overrun
+
+    def _send_quench(self, offending: Frame) -> None:
+        """ICMP-style source quench back to the offending frame's source."""
+        if offending.kind != "data" or offending.src_host not in self.hosts:
+            return
+        self.quenches_sent += 1
+        message = Message(
+            b"\x00" * 8,
+            headers={"op": "quench", "about_rms": offending.rms_id},
+        )
+        frame = Frame(
+            message=message,
+            src_host=offending.dst_host,
+            dst_host=offending.src_host,
+            rms_id=offending.rms_id,
+            kind="quench",
+            deadline=self.context.now,
+        )
+        self._transmit_frame(frame)
+
+    # -- routing ------------------------------------------------------------
+
+    def _link_weight(self, src: str, dst: str) -> float:
+        link = self._links[(src, dst)]
+        if not link.is_up:
+            return float("inf")
+        return link.propagation_delay + link.transmission_time(
+            self.properties.mtu + FRAME_OVERHEAD_BYTES
+        )
+
+    def route_between(self, src: str, dst: str) -> List[str]:
+        """Shortest path (by latency) between two nodes, cached."""
+        key = (src, dst)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        if not self._node_exists(src) or not self._node_exists(dst):
+            raise RoutingError(f"unknown endpoint in {src}->{dst}")
+        if src == dst:
+            return [src]
+        distances: Dict[str, float] = {src: 0.0}
+        previous: Dict[str, str] = {}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        visited: Set[str] = set()
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for neighbor in self._adjacency.get(node, []):
+                if (node, neighbor) not in self._links:
+                    continue
+                weight = self._link_weight(node, neighbor)
+                if weight == float("inf"):
+                    continue
+                candidate = dist + weight
+                if candidate < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = candidate
+                    previous[neighbor] = node
+                    heapq.heappush(heap, (candidate, neighbor))
+        if dst not in distances:
+            raise RoutingError(f"no route from {src} to {dst} in {self.name}")
+        route = [dst]
+        while route[-1] != src:
+            route.append(previous[route[-1]])
+        route.reverse()
+        self._route_cache[key] = route
+        return route
+
+    # -- frame forwarding -------------------------------------------------------
+
+    def _transmit_frame(
+        self, frame: Frame, on_drop: Optional[Callable[[Frame, str], None]] = None
+    ) -> None:
+        route = frame.route or self.route_between(frame.src_host, frame.dst_host)
+        frame.route = route
+        self._forward(frame, 0, on_drop)
+
+    def _forward(
+        self,
+        frame: Frame,
+        hop_index: int,
+        on_drop: Optional[Callable[[Frame, str], None]],
+    ) -> None:
+        if hop_index >= len(frame.route) - 1:
+            self._frame_arrived(frame)
+            return
+        src = frame.route[hop_index]
+        dst = frame.route[hop_index + 1]
+        link = self._links.get((src, dst))
+        if link is None or not link.is_up:
+            if on_drop is not None:
+                on_drop(frame, f"no usable link {src}->{dst}")
+            return
+        frame.hops_taken = hop_index + 1
+        link.transmit(
+            frame,
+            deliver=lambda f, i=hop_index + 1: self._forward(f, i, on_drop),
+            on_drop=on_drop,
+        )
+
+    # -- shared-network interface -------------------------------------------------
+
+    def _path_profile(self, src: str, dst: str) -> Tuple[float, float, List[str]]:
+        route = self.route_between(src, dst)
+        fixed = 0.0
+        per_byte = 0.0
+        for i in range(len(route) - 1):
+            link = self._links[(route[i], route[i + 1])]
+            fixed += link.propagation_delay + link.transmission_time(
+                FRAME_OVERHEAD_BYTES
+            )
+            per_byte += 1.0 / link.bandwidth
+        return fixed, per_byte, route
+
+    def _admission_pools(self, route: List[str]) -> List[AdmissionController]:
+        pools = []
+        for i in range(len(route) - 1):
+            pool = self._pools.get((route[i], route[i + 1]))
+            if pool is not None:
+                pools.append(pool)
+        return pools or [AdmissionController(1.0, 1)]
+
+    def total_gateway_drops(self) -> int:
+        """Buffer-overrun drops across all links (congestion metric)."""
+        return sum(link.stats.frames_dropped_overrun for link in self._links.values())

@@ -1,0 +1,404 @@
+"""Network objects and network-level RMS (paper section 3.1).
+
+"Each network type to which a DASH host is connected is represented ...
+as an object with a standard interface.  These objects provide
+host-to-host network RMS's.  They encapsulate network-specific protocols
+for RMS creation, deletion, and transmission, and for non-RMS network
+maintenance tasks such as routing."
+
+A network object advertises (a) whether all hosts on it are *trusted*,
+(b) whether it has the *physical broadcast property*, and (c) per
+security/reliability combination, its performance limits.  RMS creation
+runs a setup handshake over the network itself (one round trip), which
+is what makes the ST's network-RMS cache (section 4.2) worth having.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.message import Label, Message
+from repro.core.negotiation import CapabilityTable, PerformanceLimits, negotiate
+from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.core.rms import Rms, RmsLevel, RmsState
+from repro.errors import NetworkError
+from repro.netsim.admission import AdmissionController
+from repro.netsim.packet import FRAME_OVERHEAD_BYTES, Frame
+from repro.netsim.topology import Host
+from repro.sim.context import SimContext
+from repro.sim.events import EventHandle
+from repro.sim.process import Future
+
+__all__ = ["NetworkProperties", "NetworkRms", "Network"]
+
+_setup_ids = itertools.count(1)
+
+
+@dataclass
+class _PendingSetup:
+    """An in-flight RMS setup handshake with retransmission state."""
+
+    future: Future
+    attempts: int = 0
+    timer: Optional[EventHandle] = None
+
+#: Accounted payload bytes of setup/teardown control frames.
+SETUP_PAYLOAD_BYTES = 64
+
+
+@dataclass(frozen=True)
+class NetworkProperties:
+    """The network parameters of section 3.1."""
+
+    trusted: bool = False
+    physical_broadcast: bool = False
+    #: Link-level encryption hardware ("The network has link-level
+    #: encryption hardware; the subtransport layer learns this ... and
+    #: does no data encryption", section 2.5).
+    link_encryption: bool = False
+    #: Link-level data checksumming in hardware (section 1).
+    link_checksum: bool = True
+    mtu: int = 1500
+    #: Whether deterministic/statistical guarantees are offered.
+    supports_guarantees: bool = True
+
+
+class NetworkRms(Rms):
+    """A host-to-host RMS provided by one network object."""
+
+    level = RmsLevel.NETWORK
+
+    def __init__(
+        self,
+        context: SimContext,
+        params: RmsParams,
+        sender: Label,
+        receiver: Label,
+        network: "Network",
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(context, params, sender, receiver, name=name)
+        self.network = network
+        self.route: List[str] = []  # filled by routed networks
+        self.established = False
+
+    def _transmit(self, message: Message) -> None:
+        frame = Frame(
+            message=message,
+            src_host=self.sender.host,
+            dst_host=self.receiver.host,
+            rms_id=self.rms_id,
+            kind="data",
+            deadline=message.deadline if message.deadline is not None else float("inf"),
+            # Data follows the route the stream was admitted on -- its
+            # reservations live on those links, not on whatever path is
+            # currently shortest.
+            route=list(self.route),
+        )
+        self.network._transmit_frame(frame, on_drop=self._frame_dropped)
+
+    def _frame_dropped(self, frame: Frame, reason: str) -> None:
+        self._drop(frame.message, reason)
+
+    def _frame_arrived(self, frame: Frame) -> None:
+        """Called by the network when a data frame reaches the receiver."""
+        if frame.corrupted and self.network.properties.link_checksum:
+            # Hardware checksum: corrupted frames never reach clients.
+            self._drop(frame.message, "checksum failure")
+            return
+        self._deliver(frame.message)
+
+
+class Network:
+    """Base class of network objects.
+
+    Subclasses implement the medium: :meth:`_transmit_frame`,
+    :meth:`_path_profile` (fixed delay, per-byte delay, route), and
+    :meth:`_admission_pools` (the resource pools a stream must be
+    admitted to).  Everything else -- negotiation, admission, the setup
+    handshake, demultiplexing, failure notification -- is shared.
+    """
+
+    def __init__(
+        self,
+        context: SimContext,
+        name: str,
+        properties: NetworkProperties,
+        medium_bit_error_rate: float = 0.0,
+    ) -> None:
+        self.context = context
+        self.name = name
+        self.properties = properties
+        self.medium_bit_error_rate = medium_bit_error_rate
+        self.hosts: Dict[str, Host] = {}
+        self._rms_table: Dict[int, NetworkRms] = {}
+        self._pending_setups: Dict[int, "_PendingSetup"] = {}
+        #: Setup handshake retransmission (the network-specific RMS
+        #: creation protocol must survive frame loss).
+        self.setup_timeout = 0.25
+        self.setup_retries = 4
+        self._incoming_listeners: Dict[str, List[Callable[[NetworkRms], None]]] = {}
+        self._quench_handlers: Dict[str, Callable[[Frame], None]] = {}
+        self.frames_delivered = 0
+        self.frames_corrupted_delivered = 0
+        self.setup_count = 0
+
+    # -- topology ---------------------------------------------------------
+
+    def attach(self, host: Host) -> None:
+        """Connect a host to this network."""
+        if host.name in self.hosts:
+            raise NetworkError(f"host {host.name} already attached to {self.name}")
+        self.hosts[host.name] = host
+        host.networks[self.name] = self
+
+    def _require_host(self, host_name: str) -> Host:
+        try:
+            return self.hosts[host_name]
+        except KeyError:
+            raise NetworkError(
+                f"host {host_name!r} is not attached to network {self.name}"
+            ) from None
+
+    # -- subclass interface -------------------------------------------------
+
+    def _transmit_frame(
+        self, frame: Frame, on_drop: Optional[Callable[[Frame, str], None]] = None
+    ) -> None:
+        raise NotImplementedError
+
+    def _path_profile(self, src: str, dst: str) -> Tuple[float, float, List[str]]:
+        """(fixed seconds, seconds/byte, route node names) for a pair."""
+        raise NotImplementedError
+
+    def _admission_pools(self, route: List[str]) -> List[AdmissionController]:
+        raise NotImplementedError
+
+    # -- capability advertisement (section 3.1) ------------------------------
+
+    def capability_table(self, src: str, dst: str) -> CapabilityTable:
+        """Per-pair performance limits for each supported combination."""
+        fixed, per_byte, route = self._path_profile(src, dst)
+        # Allow a few maximum-size frames of queueing ahead of each hop.
+        slack = 4 * per_byte * (self.properties.mtu + FRAME_OVERHEAD_BYTES)
+        # The capacity an RMS may keep outstanding is bounded by the
+        # *smallest* buffer along the path (the bottleneck), discounted
+        # because control traffic and other streams share it.
+        bottleneck = min(
+            pool.total_buffer_bytes for pool in self._admission_pools(route)
+        )
+        limits = PerformanceLimits(
+            best_delay=DelayBound(fixed + slack, per_byte),
+            max_capacity=max(1, (bottleneck * 3) // 4),
+            max_message_size=self.properties.mtu,
+            floor_bit_error_rate=self.medium_bit_error_rate,
+            strongest_type=(
+                DelayBoundType.DETERMINISTIC
+                if self.properties.supports_guarantees
+                else DelayBoundType.BEST_EFFORT
+            ),
+        )
+        table = CapabilityTable()
+        table.set_limits(False, False, False, limits)
+        secure_medium = self.properties.trusted or self.properties.link_encryption
+        if secure_medium:
+            # The medium itself prevents impersonation and eavesdropping,
+            # so every security combination is available at no extra cost.
+            for authentication in (False, True):
+                for privacy in (False, True):
+                    table.set_limits(False, authentication, privacy, limits)
+        return table
+
+    # -- RMS lifecycle ---------------------------------------------------------
+
+    def create_rms(
+        self,
+        sender: Label,
+        receiver: Label,
+        desired: RmsParams,
+        acceptable: RmsParams,
+    ) -> Future:
+        """Create a network RMS between two attached hosts.
+
+        Negotiation and admission run immediately (raising
+        :class:`NegotiationError` / :class:`AdmissionError` on
+        rejection); the returned future resolves to the
+        :class:`NetworkRms` once the setup handshake (one network round
+        trip) completes.
+        """
+        self._require_host(sender.host)
+        self._require_host(receiver.host)
+        table = self.capability_table(sender.host, receiver.host)
+        actual = negotiate(desired, acceptable, table)
+        fixed, per_byte, route = self._path_profile(sender.host, receiver.host)
+        rms = NetworkRms(
+            self.context,
+            actual,
+            sender,
+            receiver,
+            network=self,
+            name=f"{self.name}.rms{next(_setup_ids)}",
+        )
+        rms.route = route
+        admitted: List[AdmissionController] = []
+        try:
+            for pool in self._admission_pools(route):
+                pool.admit(rms.rms_id, actual)
+                admitted.append(pool)
+        except Exception:
+            for pool in admitted:
+                pool.release(rms.rms_id)
+            raise
+        self._rms_table[rms.rms_id] = rms
+        self.setup_count += 1
+        future = Future(self.context.loop)
+        pending = _PendingSetup(future=future)
+        self._pending_setups[rms.rms_id] = pending
+        self._send_control(rms, "setup")
+        pending.timer = self.context.loop.call_after(
+            self.setup_timeout, self._setup_timeout, rms.rms_id
+        )
+        self.context.tracer.record(
+            "net", "setup_start", net=self.name, rms=rms.name
+        )
+        return future
+
+    def _setup_timeout(self, rms_id: int) -> None:
+        pending = self._pending_setups.get(rms_id)
+        rms = self._rms_table.get(rms_id)
+        if pending is None or rms is None:
+            return
+        pending.attempts += 1
+        if pending.attempts > self.setup_retries:
+            self._pending_setups.pop(rms_id, None)
+            self._release(rms)
+            rms.fail("setup timed out")
+            pending.future.set_exception(
+                NetworkError(f"RMS setup to {rms.receiver.host} timed out")
+            )
+            return
+        self._send_control(rms, "setup")
+        pending.timer = self.context.loop.call_after(
+            self.setup_timeout * (2 ** pending.attempts),
+            self._setup_timeout,
+            rms_id,
+        )
+
+    def delete_rms(self, rms: NetworkRms) -> None:
+        """Tear an RMS down and release its reservations."""
+        if rms.rms_id not in self._rms_table:
+            return
+        self._send_control(rms, "teardown")
+        self._release(rms)
+        rms.delete()
+
+    def _release(self, rms: NetworkRms) -> None:
+        self._rms_table.pop(rms.rms_id, None)
+        for pool in self._admission_pools(rms.route):
+            pool.release(rms.rms_id)
+
+    def _send_control(self, rms: NetworkRms, kind: str) -> None:
+        message = Message(
+            b"\x00" * SETUP_PAYLOAD_BYTES,
+            source=rms.sender,
+            target=rms.receiver,
+            headers={"op": kind},
+        )
+        src, dst = rms.sender.host, rms.receiver.host
+        if kind == "setup_ack":
+            src, dst = dst, src
+        frame = Frame(
+            message=message,
+            src_host=src,
+            dst_host=dst,
+            rms_id=rms.rms_id,
+            kind=kind,
+            deadline=self.context.now,  # control traffic goes first
+        )
+        self._transmit_frame(frame, on_drop=self._control_dropped)
+
+    def _control_dropped(self, frame: Frame, reason: str) -> None:
+        """A dropped control frame; the setup retry timer recovers."""
+        self.context.tracer.record(
+            "net", "control_drop", net=self.name, kind=frame.kind, reason=reason
+        )
+
+    # -- incoming traffic -------------------------------------------------------
+
+    def listen_incoming(
+        self, host_name: str, callback: Callable[[NetworkRms], None]
+    ) -> None:
+        """Register a per-host handler for RMSs created by remote peers."""
+        self._require_host(host_name)
+        self._incoming_listeners.setdefault(host_name, []).append(callback)
+
+    def register_quench_handler(
+        self, host_name: str, callback: Callable[[Frame], None]
+    ) -> None:
+        """Register a source-quench receiver (used by the TCP baseline)."""
+        self._quench_handlers[host_name] = callback
+
+    def _frame_arrived(self, frame: Frame) -> None:
+        """Demultiplex one frame at its destination host."""
+        if frame.kind == "data":
+            rms = self._rms_table.get(frame.rms_id)
+            if rms is None or rms.state is not RmsState.OPEN:
+                return  # stale traffic for a deleted stream
+            self.frames_delivered += 1
+            if frame.corrupted:
+                self.frames_corrupted_delivered += 1
+            rms._frame_arrived(frame)
+        elif frame.kind == "setup":
+            rms = self._rms_table.get(frame.rms_id)
+            if rms is None:
+                return
+            for listener in self._incoming_listeners.get(frame.dst_host, []):
+                listener(rms)
+            self._send_control(rms, "setup_ack")
+        elif frame.kind == "setup_ack":
+            pending = self._pending_setups.pop(frame.rms_id, None)
+            rms = self._rms_table.get(frame.rms_id)
+            if pending is not None and rms is not None:
+                if pending.timer is not None:
+                    pending.timer.cancel()
+                rms.established = True
+                self.context.tracer.record(
+                    "net", "setup_done", net=self.name, rms=rms.name
+                )
+                pending.future.set_result(rms)
+        elif frame.kind == "teardown":
+            rms = self._rms_table.get(frame.rms_id)
+            if rms is not None:
+                self._release(rms)
+                rms.delete()
+        elif frame.kind == "quench":
+            handler = self._quench_handlers.get(frame.dst_host)
+            if handler is not None:
+                handler(frame)
+
+    # -- failure ---------------------------------------------------------------
+
+    def _fail_rms_on_route(self, dead_node_pair: Tuple[str, str], reason: str) -> None:
+        """Fail every RMS whose route crosses the given adjacent pair."""
+        for rms in list(self._rms_table.values()):
+            route = rms.route
+            for i in range(len(route) - 1):
+                hop = (route[i], route[i + 1])
+                if hop == dead_node_pair or hop == dead_node_pair[::-1]:
+                    self._release(rms)
+                    rms.fail(reason)
+                    break
+
+    def fail_all(self, reason: str = "network failure") -> None:
+        """Fail every RMS on this network (e.g. the segment went down)."""
+        for rms in list(self._rms_table.values()):
+            self._release(rms)
+            rms.fail(reason)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name} hosts={len(self.hosts)} "
+            f"rms={len(self._rms_table)}>"
+        )

@@ -1,0 +1,62 @@
+"""Frames: what actually travels on simulated network media.
+
+A frame wraps one network-level RMS message (or a network-maintenance
+payload) with link framing overhead and routing fields.  Bit errors
+corrupt the payload bytes of the wrapped message; framing and header
+fields are assumed protected by link hardware (a simplification noted
+in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.message import Message
+
+__all__ = ["Frame", "FRAME_OVERHEAD_BYTES"]
+
+#: Link framing overhead accounted per frame (preamble, addresses, FCS).
+FRAME_OVERHEAD_BYTES = 18
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """One link-level frame."""
+
+    message: Message
+    src_host: str
+    dst_host: str
+    rms_id: int  # network RMS the frame belongs to (0 = maintenance)
+    kind: str = "data"  # "data" | "setup" | "teardown" | "quench"
+    deadline: float = 0.0
+    route: List[str] = field(default_factory=list)  # remaining hops
+    hops_taken: int = 0
+    corrupted: bool = False
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    enqueued_at: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        """Accounted bytes on the wire."""
+        return self.message.wire_size + FRAME_OVERHEAD_BYTES
+
+    def corrupt_payload(self, bit_index: int) -> None:
+        """Flip one payload bit in place (the message keeps its size)."""
+        payload = bytearray(self.message.payload)
+        if not payload:
+            self.corrupted = True
+            return
+        byte_index = (bit_index // 8) % len(payload)
+        payload[byte_index] ^= 1 << (bit_index % 8)
+        self.message.payload = bytes(payload)
+        self.corrupted = True
+
+    def __repr__(self) -> str:
+        return (
+            f"<Frame #{self.frame_id} {self.kind} {self.src_host}->"
+            f"{self.dst_host} rms={self.rms_id} {self.size}B>"
+        )

@@ -1,0 +1,221 @@
+"""Hosts and links: the physical pieces of simulated networks.
+
+A :class:`Link` serializes frames at a fixed bandwidth with a
+propagation delay, holds a bounded, deadline-ordered transmission queue
+(section 4.3.1: "transmission deadlines determine the order in which
+messages are sent"), and applies an impairment model.  A :class:`Host`
+owns a CPU (for deadline-scheduled protocol processing, section 4.1) and
+its network attachments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import NetworkError
+from repro.netsim.errors_model import ImpairmentModel
+from repro.netsim.packet import Frame
+from repro.sched.cpu import CpuCostModel, HostCpu
+from repro.sched.policies import ReadyQueue, make_queue
+from repro.sim.context import SimContext
+from repro.sim.events import Signal
+from repro.sim.ports import Port
+
+__all__ = ["Link", "Host", "LinkStats"]
+
+
+class LinkStats:
+    """Counters for one link."""
+
+    def __init__(self) -> None:
+        self.frames_transmitted = 0
+        self.bytes_transmitted = 0
+        self.frames_dropped_overrun = 0
+        self.frames_dropped_loss = 0
+        self.frames_corrupted = 0
+        self.max_queue_bytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<LinkStats tx={self.frames_transmitted} overrun="
+            f"{self.frames_dropped_overrun} lost={self.frames_dropped_loss} "
+            f"corrupt={self.frames_corrupted}>"
+        )
+
+
+class Link:
+    """A simplex transmission resource with a bounded deadline queue.
+
+    ``deliver`` (per-transmit) is invoked at the far end after
+    transmission and propagation.  Frames offered while the queue holds
+    ``buffer_bytes`` are dropped as buffer overruns.  Queue order follows
+    the configured policy; EDF realizes the paper's deadline-based
+    interface scheduling, FIFO is the ablation baseline.
+    """
+
+    def __init__(
+        self,
+        context: SimContext,
+        name: str,
+        bandwidth: float,  # bytes per second
+        propagation_delay: float,  # seconds
+        buffer_bytes: int = 256 * 1024,
+        policy: str = "edf",
+        impairment: Optional[ImpairmentModel] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise NetworkError(f"link bandwidth must be > 0: {bandwidth}")
+        if propagation_delay < 0:
+            raise NetworkError(f"propagation delay must be >= 0: {propagation_delay}")
+        self.context = context
+        self.name = name
+        self.bandwidth = bandwidth
+        self.propagation_delay = propagation_delay
+        self.buffer_bytes = buffer_bytes
+        self.impairment = impairment or ImpairmentModel()
+        self._queue: ReadyQueue = make_queue(policy)
+        self.policy = policy
+        self._queued_bytes = 0
+        self._busy = False
+        self._up = True
+        self.stats = LinkStats()
+        self.on_down: Signal = Signal(context.loop)
+        self._rng = context.rng.stream(f"link:{name}")
+        #: Optional observer of overruns (used by source-quench gateways).
+        self.on_overrun: Optional[Callable[[Frame], None]] = None
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def transmission_time(self, size_bytes: int) -> float:
+        return size_bytes / self.bandwidth
+
+    def transmit(
+        self,
+        frame: Frame,
+        deliver: Callable[[Frame], None],
+        on_drop: Optional[Callable[[Frame, str], None]] = None,
+    ) -> bool:
+        """Queue ``frame`` for transmission; returns False on overrun drop."""
+        if not self._up:
+            if on_drop is not None:
+                on_drop(frame, "link down")
+            return False
+        if self._queued_bytes + frame.size > self.buffer_bytes:
+            self.stats.frames_dropped_overrun += 1
+            self.context.tracer.record(
+                "link", "overrun", link=self.name, frame=frame.frame_id
+            )
+            if self.on_overrun is not None:
+                self.on_overrun(frame)
+            if on_drop is not None:
+                on_drop(frame, "buffer overrun")
+            return False
+        frame.enqueued_at = self.context.now
+        self._queued_bytes += frame.size
+        self.stats.max_queue_bytes = max(self.stats.max_queue_bytes, self._queued_bytes)
+        self._queue.push((frame, deliver, on_drop), deadline=frame.deadline)
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if self._busy or not self._queue or not self._up:
+            return
+        frame, deliver, on_drop = self._queue.pop()
+        self._busy = True
+        self.context.loop.call_after(
+            self.transmission_time(frame.size),
+            self._transmission_done,
+            frame,
+            deliver,
+            on_drop,
+        )
+
+    def _transmission_done(
+        self,
+        frame: Frame,
+        deliver: Callable[[Frame], None],
+        on_drop: Optional[Callable[[Frame, str], None]],
+    ) -> None:
+        self._busy = False
+        self._queued_bytes -= frame.size
+        if not self._up:
+            if on_drop is not None:
+                on_drop(frame, "link down")
+            return
+        self.stats.frames_transmitted += 1
+        self.stats.bytes_transmitted += frame.size
+        if self.impairment.loses_frame(self._rng):
+            self.stats.frames_dropped_loss += 1
+            self.context.tracer.record(
+                "link", "loss", link=self.name, frame=frame.frame_id
+            )
+            if on_drop is not None:
+                on_drop(frame, "medium loss")
+        else:
+            if self.impairment.maybe_corrupt(frame, self._rng):
+                self.stats.frames_corrupted += 1
+                self.context.tracer.record(
+                    "link", "corrupt", link=self.name, frame=frame.frame_id
+                )
+            self.context.loop.call_after(self.propagation_delay, deliver, frame)
+        self._start_next()
+
+    def set_down(self) -> None:
+        """Fail the link; queued frames are discarded, listeners notified."""
+        if not self._up:
+            return
+        self._up = False
+        while self._queue:
+            frame, _deliver, on_drop = self._queue.pop()
+            self._queued_bytes -= frame.size
+            if on_drop is not None:
+                on_drop(frame, "link down")
+        self.on_down.fire(self)
+
+    def set_up(self) -> None:
+        self._up = True
+        self._start_next()
+
+    def __repr__(self) -> str:
+        state = "up" if self._up else "down"
+        return f"<Link {self.name} {state} queued={self._queued_bytes}B>"
+
+
+class Host:
+    """A simulated machine: a name, a CPU, named ports, attachments."""
+
+    def __init__(
+        self,
+        context: SimContext,
+        name: str,
+        cpu_policy: str = "edf",
+        cost_model: Optional[CpuCostModel] = None,
+    ) -> None:
+        self.context = context
+        self.name = name
+        self.cpu = HostCpu(context, name=f"{name}.cpu", policy=cpu_policy,
+                           cost_model=cost_model)
+        self.ports: Dict[str, Port] = {}
+        self.networks: Dict[str, "object"] = {}  # network name -> network
+
+    def bind_port(self, port_name: str) -> Port:
+        """Create (or return) a named passive port on this host."""
+        if port_name not in self.ports:
+            self.ports[port_name] = Port(
+                self.context.loop, name=f"{self.name}:{port_name}"
+            )
+        return self.ports[port_name]
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} nets={sorted(self.networks)}>"

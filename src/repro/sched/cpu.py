@@ -1,0 +1,205 @@
+"""Host CPU model with deadline-based short-term scheduling (section 4.1).
+
+When an upper-level RMS is created, its total delay is divided among
+stages (send protocol processing, ST delay, network delay, receive
+protocol processing).  Each piece of protocol work submitted to a
+:class:`HostCpu` carries the deadline of its stage; the CPU executes one
+work item at a time and picks the next by the configured policy (EDF by
+default, FIFO/priority for the ablation benchmarks).
+
+Protocol CPU costs are linear in message size, parameterized by a
+:class:`CpuCostModel` so experiments can charge realistic relative costs
+for checksumming, encryption, and per-message protocol overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.sim.context import SimContext
+from repro.sched.policies import ReadyQueue, make_queue
+
+__all__ = ["CpuCostModel", "WorkItem", "HostCpu"]
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """Per-operation CPU costs, in seconds.
+
+    The defaults model a late-1980s workstation-class CPU (a few MIPS):
+    tens of microseconds of fixed cost per protocol operation plus
+    per-byte costs for touching data.  Relative magnitudes are what the
+    experiments depend on; absolute values only set the time scale.
+    """
+
+    per_message: float = 50e-6  # protocol bookkeeping per message
+    per_context_switch: float = 100e-6  # process dispatch (section 4.3)
+    checksum_per_byte: float = 30e-9  # software checksumming
+    encrypt_per_byte: float = 120e-9  # software encryption
+    mac_per_byte: float = 60e-9  # software message authentication
+    copy_per_byte: float = 10e-9  # buffer copies / fragmentation
+
+    def protocol_cost(
+        self,
+        size: int,
+        checksum: bool = False,
+        encrypt: bool = False,
+        mac: bool = False,
+        copies: int = 1,
+    ) -> float:
+        """CPU seconds to run one protocol stage over ``size`` bytes."""
+        cost = self.per_message + copies * self.copy_per_byte * size
+        if checksum:
+            cost += self.checksum_per_byte * size
+        if encrypt:
+            cost += self.encrypt_per_byte * size
+        if mac:
+            cost += self.mac_per_byte * size
+        return cost
+
+
+@dataclass
+class WorkItem:
+    """One unit of protocol processing queued on a CPU."""
+
+    name: str
+    cpu_time: float
+    deadline: float
+    callback: Callable[[], None]
+    priority: int = 0
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def missed_deadline(self) -> Optional[bool]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at > self.deadline + 1e-12
+
+
+class HostCpu:
+    """A single CPU executing protocol work items, one at a time.
+
+    Non-preemptive: once an item starts it runs to completion.  The next
+    item is chosen by the configured ready-queue policy.  A context
+    switch cost is charged whenever the CPU moves between items of
+    different ``owner`` names, modeling the protocol-process context
+    switching that section 4.3 trades off against fragmentation.
+    """
+
+    def __init__(
+        self,
+        context: SimContext,
+        name: str = "cpu",
+        policy: str = "edf",
+        cost_model: Optional[CpuCostModel] = None,
+        charge_context_switches: bool = True,
+    ) -> None:
+        self.context = context
+        self.name = name
+        self.costs = cost_model or CpuCostModel()
+        self._queue: ReadyQueue[WorkItem] = make_queue(policy)
+        self.policy = policy
+        self._busy = False
+        self._last_owner: Optional[str] = None
+        self._charge_switches = charge_context_switches
+        # Statistics.
+        self.items_run = 0
+        self.busy_time = 0.0
+        self.context_switches = 0
+        self.deadline_misses = 0
+        self.completed: List[WorkItem] = []
+        self.keep_history = False
+
+    def submit(
+        self,
+        name: str,
+        cpu_time: float,
+        deadline: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> WorkItem:
+        """Queue one work item; ``callback`` runs when it completes."""
+        item = WorkItem(
+            name=name,
+            cpu_time=cpu_time,
+            deadline=deadline,
+            callback=callback,
+            priority=priority,
+            submitted_at=self.context.now,
+        )
+        self._queue.push(item, deadline=deadline, priority=priority)
+        self.context.tracer.record(
+            "cpu", "submit", cpu=self.name, item=name, deadline=deadline
+        )
+        if not self._busy:
+            self._dispatch()
+        return item
+
+    def submit_protocol_stage(
+        self,
+        name: str,
+        size: int,
+        deadline: float,
+        callback: Callable[[], None],
+        checksum: bool = False,
+        encrypt: bool = False,
+        mac: bool = False,
+        copies: int = 1,
+        priority: int = 0,
+    ) -> WorkItem:
+        """Queue a protocol stage costed by the CPU's cost model."""
+        cpu_time = self.costs.protocol_cost(
+            size, checksum=checksum, encrypt=encrypt, mac=mac, copies=copies
+        )
+        return self.submit(name, cpu_time, deadline, callback, priority=priority)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def utilization_window(self) -> float:
+        """Busy seconds accumulated so far."""
+        return self.busy_time
+
+    def _dispatch(self) -> None:
+        if self._busy or not self._queue:
+            return
+        item = self._queue.pop()
+        self._busy = True
+        item.started_at = self.context.now
+        owner = item.name.split("/", 1)[0]
+        run_time = item.cpu_time
+        if self._charge_switches and owner != self._last_owner:
+            run_time += self.costs.per_context_switch
+            self.context_switches += 1
+        self._last_owner = owner
+        self.context.loop.call_after(run_time, self._finish, item, run_time)
+
+    def _finish(self, item: WorkItem, run_time: float) -> None:
+        item.finished_at = self.context.now
+        self._busy = False
+        self.items_run += 1
+        self.busy_time += run_time
+        if item.missed_deadline:
+            self.deadline_misses += 1
+        if self.keep_history:
+            self.completed.append(item)
+        self.context.tracer.record(
+            "cpu",
+            "finish",
+            cpu=self.name,
+            item=item.name,
+            missed=item.missed_deadline,
+        )
+        item.callback()
+        self._dispatch()
+
+    def __repr__(self) -> str:
+        return (
+            f"<HostCpu {self.name} policy={self.policy} queued="
+            f"{self.queue_length} run={self.items_run}>"
+        )

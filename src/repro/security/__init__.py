@@ -1,0 +1,27 @@
+"""Security substrate: checksums, toy ciphers, MACs, key registry."""
+
+from repro.security.checksum import (
+    CHECKSUM_ALGORITHMS,
+    checksum_bytes,
+    crc32,
+    fletcher16,
+    internet_checksum,
+)
+from repro.security.cipher import StreamCipher, xtea_decrypt_block, xtea_encrypt_block
+from repro.security.keys import KeyRegistry
+from repro.security.mac import MAC_BYTES, compute_mac, verify_mac
+
+__all__ = [
+    "CHECKSUM_ALGORITHMS",
+    "KeyRegistry",
+    "MAC_BYTES",
+    "StreamCipher",
+    "checksum_bytes",
+    "compute_mac",
+    "crc32",
+    "fletcher16",
+    "internet_checksum",
+    "verify_mac",
+    "xtea_decrypt_block",
+    "xtea_encrypt_block",
+]

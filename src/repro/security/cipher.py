@@ -1,0 +1,91 @@
+"""Privacy: toy ciphers for the RMS privacy parameter.
+
+Section 2.5's privacy example needs three regimes: software encryption
+in the ST, link-level encryption "hardware" (a network property), or no
+encryption on trusted networks.  The software path must be a real
+transformation over real bytes so tests can prove round-tripping and
+that eavesdroppers see ciphertext.
+
+These ciphers are deliberately simple (XTEA in counter mode and a
+keystream cipher built on it).  They are **not** cryptographically
+reviewed -- the paper omits encryption schemes, and the experiments only
+need correct-but-costly byte transformations.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.errors import SecurityError
+
+__all__ = ["xtea_encrypt_block", "xtea_decrypt_block", "StreamCipher"]
+
+_DELTA = 0x9E3779B9
+_MASK = 0xFFFFFFFF
+_ROUNDS = 32
+
+
+def _check_key(key: bytes) -> Tuple[int, int, int, int]:
+    if len(key) != 16:
+        raise SecurityError(f"XTEA key must be 16 bytes, got {len(key)}")
+    return struct.unpack(">4I", key)
+
+
+def xtea_encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Encrypt one 8-byte block with XTEA."""
+    if len(block) != 8:
+        raise SecurityError(f"XTEA block must be 8 bytes, got {len(block)}")
+    k = _check_key(key)
+    v0, v1 = struct.unpack(">2I", block)
+    total = 0
+    for _ in range(_ROUNDS):
+        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
+        total = (total + _DELTA) & _MASK
+        v1 = (
+            v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))
+        ) & _MASK
+    return struct.pack(">2I", v0, v1)
+
+
+def xtea_decrypt_block(key: bytes, block: bytes) -> bytes:
+    """Decrypt one 8-byte block with XTEA."""
+    if len(block) != 8:
+        raise SecurityError(f"XTEA block must be 8 bytes, got {len(block)}")
+    k = _check_key(key)
+    v0, v1 = struct.unpack(">2I", block)
+    total = (_DELTA * _ROUNDS) & _MASK
+    for _ in range(_ROUNDS):
+        v1 = (
+            v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))
+        ) & _MASK
+        total = (total - _DELTA) & _MASK
+        v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
+    return struct.pack(">2I", v0, v1)
+
+
+class StreamCipher:
+    """XTEA in counter mode: a symmetric keystream cipher.
+
+    Encryption and decryption are the same XOR operation, so a single
+    ``apply`` method serves both directions.  A per-message nonce keeps
+    keystreams distinct across messages.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        _check_key(key)
+        self.key = key
+
+    def keystream(self, nonce: int, length: int) -> bytes:
+        """``length`` keystream bytes for the given nonce."""
+        blocks = []
+        needed = (length + 7) // 8
+        for counter in range(needed):
+            block_input = struct.pack(">2I", nonce & _MASK, counter & _MASK)
+            blocks.append(xtea_encrypt_block(self.key, block_input))
+        return b"".join(blocks)[:length]
+
+    def apply(self, nonce: int, data: bytes) -> bytes:
+        """XOR ``data`` with the keystream (encrypts and decrypts)."""
+        stream = self.keystream(nonce, len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))

@@ -1,0 +1,48 @@
+"""Authentication: message authentication codes.
+
+The RMS authentication parameter guarantees that "impersonation
+(delivery of a message with incorrect source label) is impossible"
+(section 2.1).  The ST realizes this with a keyed MAC over the message
+and its source label; a toy CBC-MAC built on the XTEA block cipher.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import SecurityError
+from repro.security.cipher import xtea_encrypt_block
+
+__all__ = ["compute_mac", "verify_mac", "MAC_BYTES"]
+
+#: Width of the MAC tag carried in message headers.
+MAC_BYTES = 8
+
+
+def compute_mac(key: bytes, data: bytes, context: bytes = b"") -> bytes:
+    """An 8-byte CBC-MAC tag over ``context || len || data``.
+
+    The length prefix prevents trivial extension ambiguity between the
+    context (e.g. the source label) and the payload.
+    """
+    material = context + struct.pack(">I", len(data)) + data
+    if len(material) % 8:
+        material += b"\x00" * (8 - len(material) % 8)
+    state = b"\x00" * 8
+    for offset in range(0, len(material), 8):
+        block = material[offset : offset + 8]
+        mixed = bytes(a ^ b for a, b in zip(state, block))
+        state = xtea_encrypt_block(key, mixed)
+    return state
+
+
+def verify_mac(key: bytes, data: bytes, tag: bytes, context: bytes = b"") -> bool:
+    """Check a tag; returns False rather than raising on mismatch."""
+    if len(tag) != MAC_BYTES:
+        raise SecurityError(f"MAC tag must be {MAC_BYTES} bytes, got {len(tag)}")
+    expected = compute_mac(key, data, context)
+    # Constant-time comparison is irrelevant in a simulator, but cheap.
+    result = 0
+    for a, b in zip(expected, tag):
+        result |= a ^ b
+    return result == 0

@@ -1,0 +1,55 @@
+"""Simulation context: one bundle of clock, randomness, and tracing.
+
+Every layer of the reproduced DASH stack receives a :class:`SimContext`
+instead of reaching for globals, so several independent simulations can
+coexist in one Python process (the benchmark harness relies on this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Union
+
+from repro.sim.events import EventLoop, Signal
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import NullTracer, Tracer
+
+__all__ = ["SimContext"]
+
+
+class SimContext:
+    """The shared substrate of one simulation run."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: bool = False,
+        trace_categories: Optional[Set[str]] = None,
+    ) -> None:
+        self.loop = EventLoop()
+        self.rng = RandomStreams(seed)
+        self.tracer: Union[Tracer, NullTracer]
+        if trace:
+            self.tracer = Tracer(self.loop, trace_categories)
+        else:
+            self.tracer = NullTracer()
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def spawn(self, generator, name: Optional[str] = None) -> Process:
+        """Start a generator as a simulated process."""
+        return Process(self.loop, generator, name)
+
+    def signal(self) -> Signal:
+        return Signal(self.loop)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.loop.run(until=until)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        return self.loop.run_until_idle(max_events=max_events)
+
+    def __repr__(self) -> str:
+        return f"<SimContext now={self.now:.6f} seed={self.rng.master_seed}>"

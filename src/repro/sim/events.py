@@ -1,0 +1,206 @@
+"""Discrete-event simulation core.
+
+The DASH system of the paper ran on real machines; this reproduction runs
+on a deterministic discrete-event simulator.  :class:`EventLoop` keeps a
+priority queue of timestamped callbacks.  All timing-sensitive behaviour
+in the library (delay bounds, deadlines, retransmission timers, CPU
+scheduling) is expressed through this single clock, which makes every
+experiment reproducible bit-for-bit from its random seed.
+
+Times are floats in *seconds* of simulated time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+
+__all__ = ["EventHandle", "EventLoop", "Signal"]
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled callback."""
+
+    __slots__ = ("time", "_seq", "_callback", "_args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self._seq = seq
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self._cancelled = True
+        self._callback = _noop
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _run(self) -> None:
+        self._callback(*self._args)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self._seq) < (other.time, other._seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} {state}>"
+
+
+def _noop() -> None:
+    return None
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler.
+
+    Events scheduled for the same instant run in scheduling order (FIFO),
+    which keeps protocol traces deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        """Number of callbacks executed so far (for tests and tracing)."""
+        return self._events_run
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for handle in self._queue if not handle.cancelled)
+
+    def call_at(
+        self, when: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at {when:.6f}, now is {self._now:.6f}"
+            )
+        handle = EventHandle(when, next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def call_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at the current time, after pending
+        same-time events."""
+        return self.call_at(self._now, callback, *args)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events in time order.
+
+        Stops when the queue is empty, when the next event lies beyond
+        ``until`` (the clock then advances exactly to ``until``), or after
+        ``max_events`` callbacks.  Returns the simulated time at which the
+        run stopped.
+        """
+        if self._running:
+            raise SchedulingError("event loop is already running (reentrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                handle = self._queue[0]
+                if handle.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and handle.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = handle.time
+                handle._run()
+                self._events_run += 1
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain.  ``max_events`` guards runaway loops."""
+        end = self.run(max_events=max_events)
+        if self.pending_events:
+            raise SchedulingError(
+                f"event loop did not go idle within {max_events} events"
+            )
+        return end
+
+    def __repr__(self) -> str:
+        return (
+            f"<EventLoop now={self._now:.6f} pending={self.pending_events} "
+            f"run={self._events_run}>"
+        )
+
+
+class Signal:
+    """A broadcast event: listeners subscribe, ``fire`` notifies them all.
+
+    Used for RMS failure notification (basic property 3 of section 2) and
+    for decoupled delivery hooks.  Listeners added during a ``fire`` are
+    not invoked until the next ``fire``.
+    """
+
+    def __init__(self, loop: EventLoop) -> None:
+        self._loop = loop
+        self._listeners: List[Callable[..., None]] = []
+        self.fire_count = 0
+
+    def listen(self, callback: Callable[..., None]) -> Callable[[], None]:
+        """Subscribe; returns an unsubscribe function."""
+        self._listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def fire(self, *args: Any) -> None:
+        """Invoke every current listener synchronously with ``args``."""
+        self.fire_count += 1
+        for callback in list(self._listeners):
+            callback(*args)
+
+    def fire_soon(self, *args: Any) -> None:
+        """Invoke listeners via the event loop (next same-time slot)."""
+        self._loop.call_soon(self.fire, *args)
+
+    def __len__(self) -> int:
+        return len(self._listeners)

@@ -1,0 +1,176 @@
+"""The piggybacking queue algorithm of section 4.3.1.
+
+For each outgoing network RMS the ST keeps a queue of client messages
+awaiting transmission, bounded by the network RMS maximum message size.
+Each message has a *maximum transmission deadline* (its arrival time
+plus the ST-minus-network delay-bound slack) and a *minimum transmission
+deadline* (the deadline actually passed to the network for the previous
+message of the same ST RMS, which preserves per-stream ordering under
+deadline-ordered interface queues).
+
+The queue is flushed when a component's maximum transmission deadline
+is reached or when appending would overflow the network maximum message
+size; the transmission deadline passed down is the queue's maximum
+transmission deadline, floored by the ordering rule.  The flush timer
+fires at the *earliest* component maximum deadline -- flushing any later
+would make that component late, so we read the paper's "its maximum
+transmission deadline is reached" as the queue's binding (earliest)
+maximum.  Messages that require fragmentation are never piggybacked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.sim.context import SimContext
+from repro.sim.events import EventHandle
+from repro.subtransport.wire import BundleEntry, encode_bundle
+
+__all__ = ["PiggybackQueue"]
+
+#: Encoded bytes of the bundle count header.
+_BUNDLE_HEADER_BYTES = 2
+
+FlushCallback = Callable[[bytes, float, List[int], int], None]
+
+
+class PiggybackQueue:
+    """Deadline-driven component queue for one outgoing network RMS.
+
+    ``flush_fn(payload, deadline, st_ids, components)`` is invoked with
+    the encoded bundle, the network transmission deadline, the ST RMS
+    ids involved, and the component count.
+    """
+
+    def __init__(
+        self,
+        context: SimContext,
+        max_bundle_payload: int,
+        flush_fn: FlushCallback,
+        ordering_floor: Callable[[List[int]], float],
+        enabled: bool = True,
+    ) -> None:
+        if max_bundle_payload <= _BUNDLE_HEADER_BYTES:
+            raise TransportError(
+                f"network max message size {max_bundle_payload}B too small "
+                f"for bundles"
+            )
+        self.context = context
+        self.max_bundle_payload = max_bundle_payload
+        self.flush_fn = flush_fn
+        self.ordering_floor = ordering_floor
+        self.enabled = enabled
+        #: (entry, network transmission deadline, flush-by time).
+        self._entries: List[Tuple[BundleEntry, float, float]] = []
+        self._encoded_bytes = _BUNDLE_HEADER_BYTES
+        self._timer: Optional[EventHandle] = None
+        # Statistics.
+        self.flushes_timer = 0
+        self.flushes_overflow = 0
+        self.flushes_immediate = 0
+        self.flushes_forced = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._encoded_bytes
+
+    def submit(
+        self,
+        entry: BundleEntry,
+        max_deadline: float,
+        flush_by: Optional[float] = None,
+    ) -> None:
+        """Queue one component, flushing as the deadline rules demand.
+
+        ``max_deadline`` is the section-4.3.1 maximum transmission
+        deadline (arrival plus ST-minus-network slack): it is what the
+        network layer schedules by.  ``flush_by`` is when the ST stops
+        hoping for piggyback companions and actually sends -- at most
+        ``max_deadline``, usually much earlier (the configured window
+        cap), so that waiting for companions does not consume the whole
+        slack.
+        """
+        if flush_by is None:
+            flush_by = max_deadline
+        flush_by = min(flush_by, max_deadline)
+        if entry.encoded_size + _BUNDLE_HEADER_BYTES > self.max_bundle_payload:
+            raise TransportError(
+                f"component of {entry.encoded_size}B cannot fit a bundle of "
+                f"{self.max_bundle_payload}B; fragment it first"
+            )
+        if not self.enabled:
+            # Piggybacking off: every component ships alone, immediately.
+            self.flushes_immediate += 1
+            self._send([(entry, max_deadline, flush_by)])
+            return
+        if flush_by <= self.context.now:
+            # No queueing slack left: flush everything queued together
+            # with this component (sending it *after* the queue would
+            # break arrival order on the shared network RMS) -- unless
+            # it does not fit, in which case the queue goes first and
+            # the component follows alone, still in order.
+            if self._encoded_bytes + entry.encoded_size > self.max_bundle_payload:
+                self.flushes_overflow += 1
+                self.flush("overflow")
+            self._entries.append((entry, max_deadline, flush_by))
+            self._encoded_bytes += entry.encoded_size
+            self.flushes_immediate += 1
+            self.flush("immediate")
+            return
+        if self._encoded_bytes + entry.encoded_size > self.max_bundle_payload:
+            self.flushes_overflow += 1
+            self.flush("overflow")
+        self._entries.append((entry, max_deadline, flush_by))
+        self._encoded_bytes += entry.encoded_size
+        self._arm_timer()
+
+    def flush(self, reason: str = "forced") -> None:
+        """Send every queued component as one bundle now."""
+        if not self._entries:
+            return
+        if reason == "forced":
+            self.flushes_forced += 1
+        entries, self._entries = self._entries, []
+        self._encoded_bytes = _BUNDLE_HEADER_BYTES
+        self._disarm_timer()
+        self._send(entries)
+
+    def _send(self, entries: List[Tuple[BundleEntry, float, float]]) -> None:
+        payload = encode_bundle([entry for entry, _, _ in entries])
+        st_ids = sorted({entry.st_rms_id for entry, _, _ in entries})
+        # The deadline passed to the network layer is the queue's maximum
+        # transmission deadline, floored by the per-stream ordering rule.
+        deadline = max(max_deadline for _, max_deadline, _ in entries)
+        deadline = max(deadline, self.ordering_floor(st_ids))
+        self.flush_fn(payload, deadline, st_ids, len(entries))
+
+    def _arm_timer(self) -> None:
+        earliest = min(flush_by for _, _, flush_by in self._entries)
+        if self._timer is not None:
+            if self._timer.time <= earliest and not self._timer.cancelled:
+                return
+            self._timer.cancel()
+        self._timer = self.context.loop.call_at(
+            max(earliest, self.context.now), self._timer_fired
+        )
+
+    def _disarm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _timer_fired(self) -> None:
+        self._timer = None
+        if self._entries:
+            self.flushes_timer += 1
+            self.flush("timer")
+
+    def __repr__(self) -> str:
+        return (
+            f"<PiggybackQueue {len(self._entries)} entries "
+            f"{self._encoded_bytes}B/{self.max_bundle_payload}B>"
+        )

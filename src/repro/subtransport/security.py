@@ -1,0 +1,62 @@
+"""Parameter-driven security decisions (paper sections 2.5 and 3.1).
+
+The ST chooses, per ST RMS, which mechanisms to run in software based on
+the client's RMS parameters and the underlying network's properties:
+
+- privacy: software encryption *only* when the client asked for privacy
+  and the network neither is trusted nor has link-level encryption;
+- authentication: a MAC *only* when the client asked and the network is
+  not trusted (link encryption with shared keys also prevents useful
+  impersonation on the medium, so it counts);
+- integrity: a software checksum *only* when the network interface does
+  not checksum in hardware and the medium can corrupt bits.
+
+"In any case, the optimal mechanism is used ...  If a client does not
+require privacy, no mechanism is used (which is again optimal).  Without
+the RMS security parameters, this optimization would not be possible."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import RmsParams
+from repro.netsim.network import Network
+
+__all__ = ["SecurityPlan", "plan_security"]
+
+
+@dataclass(frozen=True)
+class SecurityPlan:
+    """What the ST will actually do for one ST RMS on one network."""
+
+    encrypt: bool  # software encryption in the ST
+    mac: bool  # software MAC in the ST
+    checksum: bool  # software checksum in the ST
+    #: Security properties to request from the network RMS itself (the
+    #: medium provides them, so the ST can skip the software mechanism).
+    network_privacy: bool
+    network_authentication: bool
+
+    @property
+    def any_software_mechanism(self) -> bool:
+        return self.encrypt or self.mac or self.checksum
+
+
+def plan_security(params: RmsParams, network: Network) -> SecurityPlan:
+    """Decide mechanisms for an ST RMS with ``params`` over ``network``."""
+    properties = network.properties
+    medium_private = properties.trusted or properties.link_encryption
+    medium_authentic = properties.trusted or properties.link_encryption
+
+    encrypt = params.privacy and not medium_private
+    mac = params.authentication and not medium_authentic
+    checksum = not properties.link_checksum and network.medium_bit_error_rate > 0.0
+
+    return SecurityPlan(
+        encrypt=encrypt,
+        mac=mac,
+        checksum=checksum,
+        network_privacy=params.privacy and medium_private,
+        network_authentication=params.authentication and medium_authentic,
+    )

@@ -1,0 +1,1063 @@
+"""The subtransport layer (paper sections 3.2, 4.2, 4.3).
+
+One :class:`SubtransportLayer` runs on each host.  "All upper-level
+network communication in DASH passes through the ST.  The basic
+functions of the ST are to provide security, to do deadline-based
+message queueing, to multiplex ST RMS's onto network RMS's, and to
+arrange for 'fast acknowledgement' of messages sent on ST RMS's."
+
+Per active peer host the ST keeps
+
+- a *control channel*: two low-capacity, low-delay network RMSs, one per
+  direction, carrying a request/reply protocol for authentication and
+  ST RMS establishment ("The first ST RMS creation request to a given
+  peer triggers the creation of the ST control channel to that peer");
+- a set of *data network RMSs*, cached and multiplexed (section 4.2),
+  each with a piggybacking queue (section 4.3.1).
+
+The ST also fragments/reassembles when the ST maximum message size
+exceeds the network's ("It does not retransmit fragments; if a message
+is incomplete when a fragment of the next message arrives, the partial
+message is discarded", section 4.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.message import Label, Message
+from repro.core.negotiation import CapabilityTable, PerformanceLimits, negotiate
+from repro.core.params import DelayBound, DelayBoundType, RmsParams, StatisticalSpec
+from repro.core.rms import RmsState
+from repro.errors import (
+    AdmissionError,
+    AuthenticationError,
+    NegotiationError,
+    RmsError,
+    TransportError,
+)
+from repro.netsim.network import Network, NetworkRms
+from repro.netsim.topology import Host
+from repro.security.checksum import crc32
+from repro.security.cipher import StreamCipher
+from repro.security.keys import KeyRegistry
+from repro.security.mac import MAC_BYTES, compute_mac, verify_mac
+from repro.sim.context import SimContext
+from repro.sim.process import Future
+from repro.subtransport.config import StConfig
+from repro.subtransport.mux import MuxBinding
+from repro.subtransport.piggyback import PiggybackQueue
+from repro.subtransport.security import SecurityPlan, plan_security
+from repro.subtransport.strms import StRms
+from repro.subtransport.wire import (
+    BundleEntry,
+    FLAG_CHECKSUM,
+    FLAG_ENCRYPTED,
+    FLAG_FRAGMENT,
+    FLAG_MAC,
+    FRAG_HEADER_BYTES,
+    SUBHEADER_BYTES,
+    control_mac_material,
+    decode_bundle,
+    decode_control,
+    encode_control,
+)
+
+__all__ = ["SubtransportLayer", "StStats"]
+
+CONTROL_PORT = "st-ctl"
+DATA_PORT = "st-data"
+
+_CHECKSUM_BYTES = 4
+_BUNDLE_COUNT_BYTES = 2
+
+
+@dataclass
+class StStats:
+    """Counters for one subtransport layer."""
+
+    st_rms_created: int = 0
+    network_rms_created: int = 0
+    cache_hits: int = 0
+    mux_joins: int = 0  # ST RMSs placed on an already-active network RMS
+    bundles_sent: int = 0
+    components_sent: int = 0
+    bundles_received: int = 0
+    components_received: int = 0
+    garbled_bundles: int = 0
+    checksum_drops: int = 0
+    auth_drops: int = 0
+    orphan_components: int = 0
+    fragments_sent: int = 0
+    fragments_received: int = 0
+    partials_discarded: int = 0
+    fast_acks_sent: int = 0
+    auth_handshakes: int = 0
+    control_messages: int = 0
+
+    @property
+    def components_per_bundle(self) -> float:
+        if self.bundles_sent == 0:
+            return 0.0
+        return self.components_sent / self.bundles_sent
+
+
+@dataclass
+class _PendingRequest:
+    """An outstanding control request with retransmission state."""
+
+    future: Future
+    fields: Dict[str, Any]
+    attempts: int = 0
+    timer: Any = None
+
+
+@dataclass
+class _RxStream:
+    """Receive-side state for one incoming ST RMS."""
+
+    st_rms: StRms
+    fast_ack: bool = False
+    sender_host: str = ""
+    partial: bytearray = field(default_factory=bytearray)
+    partial_expected: int = 0  # total bytes of the message being reassembled
+    partial_offset: int = 0  # next expected fragment offset
+    partial_deadline_time: float = 0.0
+    partial_send_time: float = 0.0
+    #: Monotonic floor on receive-stage CPU deadlines: without it, a
+    #: smaller (hence earlier-deadline) later message could overtake its
+    #: predecessor in the EDF CPU queue, violating in-sequence delivery.
+    last_cpu_deadline: float = 0.0
+
+
+class _PeerState:
+    """Everything the ST knows about one remote host."""
+
+    def __init__(self, host_name: str, network: Network) -> None:
+        self.host_name = host_name
+        self.network = network
+        self.control_out: Optional[NetworkRms] = None
+        self.control_in: Optional[NetworkRms] = None
+        self.control_out_state = "none"  # none | creating | ready
+        self.authenticated = False
+        self.auth_in_progress = False
+        self.ready_waiters: List[Future] = []
+        self.outbox: List[Message] = []
+        self.pending_replies: Dict[int, "_PendingRequest"] = {}
+        self.auth_timer = None
+        self.auth_attempts = 0
+        self.req_ids = itertools.count(1)
+        self.initiator_nonce: Optional[int] = None
+        self.bindings: List[MuxBinding] = []
+        self.cached: List[MuxBinding] = []
+        self.queues: Dict[int, PiggybackQueue] = {}  # binding net rms id -> queue
+
+    @property
+    def ready(self) -> bool:
+        return self.control_out_state == "ready" and self.authenticated
+
+
+class SubtransportLayer:
+    """The ST instance of one host."""
+
+    def __init__(
+        self,
+        context: SimContext,
+        host: Host,
+        networks: List[Network],
+        key_registry: Optional[KeyRegistry] = None,
+        config: Optional[StConfig] = None,
+    ) -> None:
+        if not networks:
+            raise TransportError("subtransport layer needs at least one network")
+        self.context = context
+        self.host = host
+        self.networks = list(networks)
+        self.keys = key_registry or KeyRegistry()
+        self.config = config or StConfig()
+        self.stats = StStats()
+        self._peers: Dict[str, _PeerState] = {}
+        self._rx: Dict[int, _RxStream] = {}
+        if not self.keys.is_registered(host.name):
+            self.keys.register_host(host.name)
+        for network in self.networks:
+            network.listen_incoming(host.name, self._incoming_network_rms)
+
+    # ------------------------------------------------------------------
+    # Peer and network selection
+    # ------------------------------------------------------------------
+
+    def network_for(self, peer_host: str) -> Network:
+        """The first configured network both hosts attach to."""
+        for network in self.networks:
+            if self.host.name in network.hosts and peer_host in network.hosts:
+                return network
+        raise TransportError(
+            f"no common network between {self.host.name} and {peer_host}"
+        )
+
+    def _peer(self, peer_host: str) -> _PeerState:
+        if peer_host not in self._peers:
+            self._peers[peer_host] = _PeerState(peer_host, self.network_for(peer_host))
+        return self._peers[peer_host]
+
+    def _session_key(self, peer_host: str) -> bytes:
+        if not self.keys.is_registered(peer_host):
+            self.keys.register_host(peer_host)
+        return self.keys.pairwise_key(self.host.name, peer_host)
+
+    # ------------------------------------------------------------------
+    # Public API: ST RMS lifecycle
+    # ------------------------------------------------------------------
+
+    def st_capability_table(self, peer_host: str) -> CapabilityTable:
+        """What the ST can offer toward ``peer_host`` (ST-level 3.1 info).
+
+        Network limits are widened by the ST's mechanisms: software
+        security makes every security combination available, and
+        fragmentation multiplies the maximum message size.  Delay bounds
+        gain the ST processing allowances.
+        """
+        network = self.network_for(peer_host)
+        base = network.capability_table(self.host.name, peer_host)
+        probe = RmsParams()  # plain combination always supported
+        limits = base.limits_for(probe)
+        if limits is None:  # pragma: no cover - networks always offer plain
+            raise NegotiationError(f"network {network.name} offers no service")
+        st_limits = PerformanceLimits(
+            best_delay=DelayBound(
+                limits.best_delay.a
+                + self.config.send_stage_allowance
+                + self.config.recv_stage_allowance,
+                limits.best_delay.b,
+            ),
+            max_capacity=limits.max_capacity,
+            max_message_size=limits.max_message_size
+            * self.config.max_message_multiple,
+            floor_bit_error_rate=limits.floor_bit_error_rate,
+            strongest_type=limits.strongest_type,
+        )
+        table = CapabilityTable()
+        for authentication in (False, True):
+            for privacy in (False, True):
+                table.set_limits(False, authentication, privacy, st_limits)
+        return table
+
+    def create_st_rms(
+        self,
+        peer_host: str,
+        port: str = "default",
+        desired: Optional[RmsParams] = None,
+        acceptable: Optional[RmsParams] = None,
+        fast_ack: bool = False,
+    ) -> Future:
+        """Create an ST RMS from this host to a port on ``peer_host``.
+
+        Returns a future resolving to the :class:`StRms`.  The first
+        request to a peer triggers control-channel creation and
+        authentication; later requests reuse the channel and, when the
+        multiplexing rules allow, an existing or cached network RMS.
+        """
+        desired = desired or RmsParams()
+        acceptable = acceptable or desired
+        result = Future(self.context.loop)
+        process = self.context.spawn(
+            self._create_flow(peer_host, port, desired, acceptable, fast_ack),
+            name=f"st-create:{self.host.name}->{peer_host}",
+        )
+        process.finished.add_done_callback(lambda f: _pipe(f, result))
+        return result
+
+    def _create_flow(self, peer_host, port, desired, acceptable, fast_ack):
+        peer = self._peer(peer_host)
+        yield self.ensure_control(peer_host)
+        actual = negotiate(desired, acceptable, self.st_capability_table(peer_host))
+        plan = plan_security(actual, peer.network)
+        receiver_host = peer.network.hosts[peer_host]
+        st_rms = StRms(
+            self.context,
+            actual,
+            sender=Label(self.host.name, port),
+            receiver=Label(peer_host, port),
+            sender_st=self,
+            plan=plan,
+            session_key=self._session_key(peer_host),
+            fast_ack=fast_ack and self.config.fast_ack_enabled,
+            receiver_port=receiver_host.bind_port(port),
+            name=f"st:{self.host.name}->{peer_host}:{port}",
+        )
+        reply = yield self._control_request(
+            peer,
+            {
+                "op": "st_create",
+                "st_id": st_rms.rms_id,
+                "port": port,
+                "fast_ack": st_rms.fast_ack,
+                "capacity": actual.capacity,
+            },
+        )
+        if reply.get("op") != "st_accept":
+            st_rms.fail("peer rejected ST RMS creation")
+            raise NegotiationError(
+                f"{peer_host} rejected ST RMS: {reply.get('reason', 'unknown')}"
+            )
+        binding = yield from self._assign_binding(peer, actual)
+        binding.attach(st_rms)
+        st_rms.on_failure.listen(lambda rms, reason: self._st_failed(peer, rms))
+        self.stats.st_rms_created += 1
+        self.context.tracer.record(
+            "st", "st_rms_open", st=st_rms.name, net=binding.network_rms.name
+        )
+        return st_rms
+
+    def close_st_rms(self, st_rms: StRms) -> None:
+        """Tear one ST RMS down, possibly caching its network RMS."""
+        if st_rms.state is not RmsState.OPEN:
+            return
+        peer = self._peer(st_rms.receiver.host)
+        self._send_control(peer, {"op": "st_close", "st_id": st_rms.rms_id})
+        self._detach(peer, st_rms)
+        st_rms.delete()
+
+    def _detach(self, peer: _PeerState, st_rms: StRms) -> None:
+        binding = st_rms.binding
+        if binding is None:
+            return
+        binding.detach(st_rms)
+        if not binding.is_idle or binding not in peer.bindings:
+            return
+        peer.bindings.remove(binding)
+        queue = peer.queues.get(binding.network_rms.rms_id)
+        if queue is not None:
+            queue.flush("forced")
+        if (
+            self.config.cache_enabled
+            and len(peer.cached) < self.config.cache_size_per_peer
+            and binding.network_rms.is_open
+        ):
+            peer.cached.append(binding)
+        else:
+            peer.queues.pop(binding.network_rms.rms_id, None)
+            peer.network.delete_rms(binding.network_rms)
+
+    def _st_failed(self, peer: _PeerState, st_rms: StRms) -> None:
+        self._detach(peer, st_rms)
+
+    # ------------------------------------------------------------------
+    # Control channel (section 3.2)
+    # ------------------------------------------------------------------
+
+    def ensure_control(self, peer_host: str) -> Future:
+        """A future resolving once the authenticated control channel is up."""
+        peer = self._peer(peer_host)
+        future = Future(self.context.loop)
+        if peer.ready:
+            future.set_result(None)
+            return future
+        peer.ready_waiters.append(future)
+        self._ensure_control_out(peer)
+        return future
+
+    def _control_params(self) -> RmsParams:
+        return RmsParams(
+            capacity=self.config.control_capacity,
+            max_message_size=min(512, self.config.control_capacity),
+            delay_bound=DelayBound(self.config.control_delay_bound, 1e-6),
+            delay_bound_type=DelayBoundType.BEST_EFFORT,
+        )
+
+    def _ensure_control_out(self, peer: _PeerState) -> None:
+        if peer.control_out_state != "none":
+            return
+        peer.control_out_state = "creating"
+        params = self._control_params()
+        acceptable = params.with_(
+            delay_bound=DelayBound(self.config.control_delay_bound * 4, 1e-5)
+        )
+        future = peer.network.create_rms(
+            Label(self.host.name, CONTROL_PORT),
+            Label(peer.host_name, CONTROL_PORT),
+            params,
+            acceptable,
+        )
+        future.add_done_callback(lambda f: self._control_out_done(peer, f))
+
+    def _control_out_done(self, peer: _PeerState, future: Future) -> None:
+        if future.failed:
+            peer.control_out_state = "none"
+            self._fail_waiters(peer, TransportError("control channel setup failed"))
+            return
+        peer.control_out = future.result()
+        peer.control_out.on_failure.listen(
+            lambda rms, reason: self._control_failed(peer, reason)
+        )
+        peer.control_out_state = "ready"
+        for message in peer.outbox:
+            self._control_transmit(peer, message)
+        peer.outbox.clear()
+        self._start_authentication(peer)
+
+    def _control_failed(self, peer: _PeerState, reason: str) -> None:
+        peer.control_out = None
+        peer.control_out_state = "none"
+        peer.authenticated = False
+        self._fail_waiters(peer, TransportError(f"control channel failed: {reason}"))
+
+    def _fail_waiters(self, peer: _PeerState, error: Exception) -> None:
+        waiters, peer.ready_waiters = peer.ready_waiters, []
+        for waiter in waiters:
+            waiter.set_exception(error)
+
+    def _start_authentication(self, peer: _PeerState) -> None:
+        trusted = peer.network.properties.trusted and self.config.trust_optimization
+        if trusted:
+            peer.authenticated = True
+            self._resolve_waiters(peer)
+            return
+        if peer.auth_in_progress or peer.authenticated:
+            return
+        peer.auth_in_progress = True
+        self.stats.auth_handshakes += 1
+        nonce = self.context.rng.stream(f"auth:{self.host.name}").getrandbits(48)
+        peer.initiator_nonce = nonce
+        peer.auth_attempts = 0
+        self._send_control(
+            peer, {"op": "auth1", "from": self.host.name, "na": nonce}
+        )
+        peer.auth_timer = self.context.loop.call_after(
+            self.config.auth_retry_timeout, self._auth_timeout, peer
+        )
+
+    def _auth_timeout(self, peer: _PeerState) -> None:
+        peer.auth_timer = None
+        if peer.authenticated or not peer.auth_in_progress:
+            return
+        peer.auth_attempts += 1
+        if peer.auth_attempts > self.config.auth_max_retries:
+            peer.auth_in_progress = False
+            self._fail_waiters(
+                peer,
+                AuthenticationError(
+                    f"authentication with {peer.host_name} timed out"
+                ),
+            )
+            return
+        self._send_control(
+            peer,
+            {"op": "auth1", "from": self.host.name, "na": peer.initiator_nonce},
+        )
+        peer.auth_timer = self.context.loop.call_after(
+            self.config.auth_retry_timeout * (2 ** peer.auth_attempts),
+            self._auth_timeout,
+            peer,
+        )
+
+    def _resolve_waiters(self, peer: _PeerState) -> None:
+        waiters, peer.ready_waiters = peer.ready_waiters, []
+        for waiter in waiters:
+            waiter.set_result(None)
+
+    # -- control send/receive machinery ---------------------------------
+
+    def _send_control(self, peer: _PeerState, fields: Dict[str, Any]) -> None:
+        key = self._session_key(peer.host_name)
+        mac = compute_mac(key, control_mac_material(fields))
+        message = Message(
+            encode_control(fields, mac=mac),
+            source=Label(self.host.name, CONTROL_PORT),
+            target=Label(peer.host_name, CONTROL_PORT),
+        )
+        self.stats.control_messages += 1
+        if peer.control_out_state == "ready" and peer.control_out is not None:
+            self._control_transmit(peer, message)
+        else:
+            peer.outbox.append(message)
+            self._ensure_control_out(peer)
+
+    def _control_transmit(self, peer: _PeerState, message: Message) -> None:
+        deadline = self.context.now + self.config.control_delay_bound
+        peer.control_out.send(message, deadline=deadline)
+
+    def _control_request(self, peer: _PeerState, fields: Dict[str, Any]) -> Future:
+        req_id = next(peer.req_ids)
+        fields = dict(fields)
+        fields["req"] = req_id
+        pending = _PendingRequest(future=Future(self.context.loop), fields=fields)
+        peer.pending_replies[req_id] = pending
+        self._send_control(peer, fields)
+        pending.timer = self.context.loop.call_after(
+            self.config.control_retry_timeout, self._request_timeout, peer, req_id
+        )
+        return pending.future
+
+    def _request_timeout(self, peer: _PeerState, req_id: int) -> None:
+        pending = peer.pending_replies.get(req_id)
+        if pending is None:
+            return
+        pending.attempts += 1
+        if pending.attempts > self.config.control_max_retries:
+            peer.pending_replies.pop(req_id, None)
+            pending.future.set_exception(
+                TransportError(
+                    f"control request to {peer.host_name} timed out"
+                )
+            )
+            return
+        self._send_control(peer, pending.fields)
+        pending.timer = self.context.loop.call_after(
+            self.config.control_retry_timeout * (2 ** pending.attempts),
+            self._request_timeout,
+            peer,
+            req_id,
+        )
+
+    def _incoming_network_rms(self, rms: NetworkRms) -> None:
+        if rms.receiver.host != self.host.name:
+            return
+        if rms.receiver.port == CONTROL_PORT:
+            peer = self._peer(rms.sender.host)
+            peer.control_in = rms
+            rms.port.set_handler(
+                lambda message, p=peer: self._control_arrived(p, message)
+            )
+        elif rms.receiver.port == DATA_PORT:
+            rms.port.set_handler(
+                lambda message, r=rms: self._data_arrived(r, message)
+            )
+
+    def _control_arrived(self, peer: _PeerState, message: Message) -> None:
+        try:
+            fields = decode_control(message.payload)
+        except TransportError:
+            self.stats.garbled_bundles += 1
+            return
+        key = self._session_key(peer.host_name)
+        mac_hex = fields.get("_mac")
+        if mac_hex is None or not verify_mac(
+            key, control_mac_material(fields), bytes.fromhex(mac_hex)
+        ):
+            self.stats.auth_drops += 1
+            return
+        op = fields.get("op")
+        if op == "auth1":
+            self._handle_auth1(peer, fields)
+        elif op == "auth2":
+            self._handle_auth2(peer, fields)
+        elif op == "auth3":
+            self._handle_auth3(peer, fields)
+        elif op == "st_create":
+            self._handle_st_create(peer, fields)
+        elif op in ("st_accept", "st_reject"):
+            pending = peer.pending_replies.pop(fields.get("req", -1), None)
+            if pending is not None:
+                if pending.timer is not None:
+                    pending.timer.cancel()
+                pending.future.set_result(fields)
+        elif op == "st_close":
+            self._rx.pop(fields.get("st_id", -1), None)
+        elif op == "fast_ack":
+            st_rms = StRms.registry.get(fields.get("st_id", -1))
+            if st_rms is not None:
+                st_rms.on_fast_ack.fire(fields.get("seq", -1))
+
+    # -- authentication handshake (challenge/response on the channel) ----
+
+    def _handle_auth1(self, peer: _PeerState, fields: Dict[str, Any]) -> None:
+        nb = self.context.rng.stream(f"auth:{self.host.name}").getrandbits(48)
+        self._send_control(
+            peer,
+            {"op": "auth2", "from": self.host.name, "na": fields["na"], "nb": nb},
+        )
+
+    def _handle_auth2(self, peer: _PeerState, fields: Dict[str, Any]) -> None:
+        if peer.initiator_nonce is None or fields.get("na") != peer.initiator_nonce:
+            self.stats.auth_drops += 1
+            return
+        self._send_control(
+            peer, {"op": "auth3", "from": self.host.name, "nb": fields["nb"]}
+        )
+        peer.authenticated = True
+        peer.auth_in_progress = False
+        if peer.auth_timer is not None:
+            peer.auth_timer.cancel()
+            peer.auth_timer = None
+        self._resolve_waiters(peer)
+
+    def _handle_auth3(self, peer: _PeerState, fields: Dict[str, Any]) -> None:
+        # The MAC on the envelope already proves key possession; seeing
+        # our nonce back completes mutual authentication.
+        peer.authenticated = True
+        self._resolve_waiters(peer)
+
+    # -- ST RMS establishment, receiver side ------------------------------
+
+    def _handle_st_create(self, peer: _PeerState, fields: Dict[str, Any]) -> None:
+        st_id = fields.get("st_id", -1)
+        st_rms = StRms.registry.get(st_id)
+        if st_rms is None:
+            self._send_control(
+                peer,
+                {
+                    "op": "st_reject",
+                    "req": fields.get("req"),
+                    "reason": "unknown st_id",
+                },
+            )
+            return
+        self._rx[st_id] = _RxStream(
+            st_rms=st_rms,
+            fast_ack=bool(fields.get("fast_ack")),
+            sender_host=peer.host_name,
+        )
+        self._send_control(peer, {"op": "st_accept", "req": fields.get("req")})
+
+    # ------------------------------------------------------------------
+    # Data path: multiplexing, piggybacking, fragmentation, security
+    # ------------------------------------------------------------------
+
+    def _assign_binding(self, peer: _PeerState, st_params: RmsParams):
+        """Generator yielding a binding that can carry the new ST RMS."""
+        enforce = self.config.enforce_mux_rules
+        if self.config.multiplexing_enabled:
+            for binding in peer.bindings:
+                if binding.can_accept(st_params, enforce) is None:
+                    self.stats.mux_joins += 1
+                    return binding
+        if self.config.cache_enabled:
+            for binding in list(peer.cached):
+                if binding.can_accept(st_params, enforce) is None:
+                    peer.cached.remove(binding)
+                    peer.bindings.append(binding)
+                    self.stats.cache_hits += 1
+                    return binding
+        desired, acceptable = self._network_params_for(peer, st_params)
+        source = Label(self.host.name, DATA_PORT)
+        target = Label(peer.host_name, DATA_PORT)
+        try:
+            future = peer.network.create_rms(source, target, desired, acceptable)
+        except AdmissionError:
+            # The headroom-inflated request did not fit; retry with the
+            # exact acceptable parameters before giving up.
+            future = peer.network.create_rms(
+                source, target, acceptable, acceptable
+            )
+        network_rms = yield future
+        binding = MuxBinding(network_rms)
+        queue = PiggybackQueue(
+            self.context,
+            max_bundle_payload=network_rms.params.max_message_size,
+            flush_fn=self._make_flusher(binding),
+            ordering_floor=binding.ordering_floor,
+            enabled=self.config.piggyback_enabled,
+        )
+        peer.queues[network_rms.rms_id] = queue
+        peer.bindings.append(binding)
+        network_rms.on_failure.listen(
+            lambda rms, reason, b=binding, p=peer: self._network_rms_failed(
+                p, b, reason
+            )
+        )
+        self.stats.network_rms_created += 1
+        return binding
+
+    def _network_rms_failed(
+        self, peer: _PeerState, binding: MuxBinding, reason: str
+    ) -> None:
+        for st_rms in list(binding.st_rms.values()):
+            st_rms.fail(f"network RMS failed: {reason}")
+        if binding in peer.bindings:
+            peer.bindings.remove(binding)
+        if binding in peer.cached:
+            peer.cached.remove(binding)
+        peer.queues.pop(binding.network_rms.rms_id, None)
+
+    def _network_params_for(self, peer: _PeerState, st_params: RmsParams):
+        """Derive the network RMS request for a new binding (section 4.2)."""
+        plan = plan_security(st_params, peer.network)
+        mtu = peer.network.properties.mtu
+        guaranteed = st_params.delay_bound_type != DelayBoundType.BEST_EFFORT
+        if guaranteed:
+            # Reserved resources scale with capacity and tighten with the
+            # delay bound, so guaranteed streams ask lean: modest
+            # capacity headroom for multiplexing, and the loosest legal
+            # bound (the budget) to minimize the worst-case reservation.
+            capacity = st_params.capacity * 2
+        else:
+            capacity = max(self.config.default_network_capacity, st_params.capacity)
+        allowances = (
+            self.config.send_stage_allowance + self.config.recv_stage_allowance
+        )
+        if st_params.delay_bound.is_unbounded:
+            desired_bound = DelayBound.unbounded()
+            acceptable_bound = DelayBound.unbounded()
+        else:
+            budget = max(st_params.delay_bound.a - allowances, 1e-6)
+            if guaranteed:
+                desired_bound = DelayBound(budget, st_params.delay_bound.b)
+            else:
+                # Leave half the remaining slack as piggybacking window.
+                desired_bound = DelayBound(budget * 0.5, st_params.delay_bound.b)
+            acceptable_bound = DelayBound(budget, st_params.delay_bound.b)
+        statistical = None
+        if st_params.delay_bound_type == DelayBoundType.STATISTICAL:
+            spec = st_params.statistical
+            statistical = StatisticalSpec(
+                average_load=spec.average_load * 2,
+                burstiness=spec.burstiness,
+                delay_probability=spec.delay_probability,
+            )
+        desired = RmsParams(
+            reliability=False,
+            authentication=plan.network_authentication,
+            privacy=plan.network_privacy,
+            capacity=capacity,
+            max_message_size=mtu,
+            delay_bound=desired_bound,
+            delay_bound_type=st_params.delay_bound_type,
+            statistical=statistical,
+            bit_error_rate=max(
+                st_params.bit_error_rate, peer.network.medium_bit_error_rate
+            ),
+        )
+        if st_params.delay_bound_type == DelayBoundType.STATISTICAL:
+            acceptable_stat = st_params.statistical
+        else:
+            acceptable_stat = None
+        acceptable = desired.with_(
+            capacity=st_params.capacity,
+            delay_bound=acceptable_bound,
+            statistical=acceptable_stat,
+        )
+        return desired, acceptable
+
+    def _make_flusher(self, binding: MuxBinding):
+        def flush(payload: bytes, deadline: float, st_ids: List[int], count: int):
+            message = Message(
+                payload,
+                source=Label(self.host.name, DATA_PORT),
+                target=Label(binding.network_rms.receiver.host, DATA_PORT),
+            )
+            binding.network_rms.send(message, deadline=deadline)
+            binding.record_deadline(st_ids, deadline)
+            binding.bundles_sent += 1
+            binding.components_sent += count
+            self.stats.bundles_sent += 1
+            self.stats.components_sent += count
+
+        return flush
+
+    # -- send path ----------------------------------------------------------
+
+    def _st_send(self, st_rms: StRms, message: Message) -> None:
+        """Entry point from :meth:`StRms._transmit`."""
+        binding = st_rms.binding
+        if binding is None:
+            raise RmsError(f"{st_rms.name} has no network binding yet")
+        arrival = self.context.now
+        plan = st_rms.plan
+        stage_deadline = arrival + self.config.send_stage_allowance
+        self.host.cpu.submit_protocol_stage(
+            f"st/send:{st_rms.rms_id}",
+            message.size,
+            stage_deadline,
+            lambda: self._send_stage_done(st_rms, message, arrival),
+            checksum=plan.checksum,
+            encrypt=plan.encrypt,
+            mac=plan.mac,
+        )
+
+    def _send_stage_done(
+        self, st_rms: StRms, message: Message, arrival: float
+    ) -> None:
+        binding = st_rms.binding
+        if binding is None or not binding.network_rms.is_open:
+            st_rms._drop(message, "binding lost")
+            return
+        peer = self._peer(st_rms.receiver.host)
+        queue = peer.queues.get(binding.network_rms.rms_id)
+        net_params = binding.network_rms.params
+        max_deadline = self._max_transmission_deadline(
+            st_rms, net_params, message.size, arrival
+        )
+        flush_by = min(
+            max_deadline, arrival + self.config.piggyback_window_cap
+        )
+        overhead = self._security_overhead(st_rms.plan)
+        max_component = (
+            net_params.max_message_size
+            - _BUNDLE_COUNT_BYTES
+            - SUBHEADER_BYTES
+            - overhead
+        )
+        if message.size <= max_component:
+            entry = self._make_entry(st_rms, message.payload, 0, arrival)
+            if queue is not None:
+                queue.submit(entry, max_deadline, flush_by=flush_by)
+            else:
+                self._make_flusher(binding)(
+                    _encode_single(entry), max_deadline, [st_rms.rms_id], 1
+                )
+        else:
+            self._send_fragments(
+                st_rms, binding, queue, message, max_component, max_deadline, arrival
+            )
+
+    def _security_overhead(self, plan: SecurityPlan) -> int:
+        overhead = 0
+        if plan.mac:
+            overhead += MAC_BYTES
+        if plan.checksum:
+            overhead += _CHECKSUM_BYTES
+        return overhead
+
+    def _max_transmission_deadline(
+        self, st_rms: StRms, net_params: RmsParams, size: int, arrival: float
+    ) -> float:
+        """Arrival time plus the ST-minus-network delay slack (4.3.1)."""
+        st_bound = st_rms.params.delay_bound
+        if st_bound.is_unbounded or net_params.delay_bound.is_unbounded:
+            # Best-effort traffic has no bound; give it a generous
+            # scheduling deadline so bounded traffic outranks it.
+            return arrival + 1.0
+        slack = st_bound.bound_for(size) - net_params.delay_bound.bound_for(size)
+        slack -= (
+            self.config.send_stage_allowance + self.config.recv_stage_allowance
+        )
+        return arrival + max(slack, 0.0)
+
+    def _make_entry(
+        self,
+        st_rms: StRms,
+        chunk: bytes,
+        base_flags: int,
+        arrival: float,
+        frag_offset: int = 0,
+        frag_total: int = 0,
+    ) -> BundleEntry:
+        """Apply the security plan to one component and wrap it."""
+        plan = st_rms.plan
+        seq = st_rms.take_seq()
+        flags = base_flags
+        data = chunk
+        if plan.encrypt:
+            nonce = (st_rms.rms_id << 32) | (seq & 0xFFFFFFFF)
+            data = StreamCipher(st_rms.session_key).apply(nonce, data)
+            flags |= FLAG_ENCRYPTED
+        if plan.mac:
+            context = f"{st_rms.sender}|{seq}".encode("utf-8")
+            data = data + compute_mac(st_rms.session_key, data, context)
+            flags |= FLAG_MAC
+        if plan.checksum:
+            data = data + struct.pack(">I", crc32(data))
+            flags |= FLAG_CHECKSUM
+        return BundleEntry(
+            st_rms_id=st_rms.rms_id,
+            seq=seq,
+            flags=flags,
+            payload=data,
+            send_time=arrival,
+            frag_offset=frag_offset,
+            frag_total=frag_total,
+        )
+
+    def _send_fragments(
+        self,
+        st_rms: StRms,
+        binding: MuxBinding,
+        queue: Optional[PiggybackQueue],
+        message: Message,
+        max_component: int,
+        max_deadline: float,
+        arrival: float,
+    ) -> None:
+        """Fragment a large client message (section 4.3).
+
+        Fragments are never piggybacked; the queue is flushed first so
+        per-stream ordering survives the direct sends.
+        """
+        if queue is not None:
+            queue.flush("forced")
+        chunk_size = max_component - FRAG_HEADER_BYTES
+        if chunk_size <= 0:
+            raise TransportError(
+                "network maximum message size too small for fragments"
+            )
+        total = message.size
+        flusher = self._make_flusher(binding)
+        st_rms.messages_fragmented += 1
+        offset = 0
+        while offset < total:
+            chunk = message.payload[offset : offset + chunk_size]
+            entry = self._make_entry(
+                st_rms,
+                chunk,
+                FLAG_FRAGMENT,
+                arrival,
+                frag_offset=offset,
+                frag_total=total,
+            )
+            deadline = max(max_deadline, binding.ordering_floor([st_rms.rms_id]))
+            flusher(_encode_single(entry), deadline, [st_rms.rms_id], 1)
+            self.stats.fragments_sent += 1
+            st_rms.fragments_sent += 1
+            offset += len(chunk)
+
+    # -- receive path ----------------------------------------------------------
+
+    def _data_arrived(self, network_rms: NetworkRms, message: Message) -> None:
+        try:
+            entries = decode_bundle(message.payload)
+        except TransportError:
+            self.stats.garbled_bundles += 1
+            return
+        self.stats.bundles_received += 1
+        for entry in entries:
+            self._receive_entry(entry)
+
+    def _receive_entry(self, entry: BundleEntry) -> None:
+        rx = self._rx.get(entry.st_rms_id)
+        if rx is None:
+            self.stats.orphan_components += 1
+            return
+        st_rms = rx.st_rms
+        plan = st_rms.plan
+        data = entry.payload
+        if entry.flags & FLAG_CHECKSUM:
+            if len(data) < _CHECKSUM_BYTES:
+                self.stats.checksum_drops += 1
+                return
+            body, tag = data[:-_CHECKSUM_BYTES], data[-_CHECKSUM_BYTES:]
+            if struct.pack(">I", crc32(body)) != tag:
+                self.stats.checksum_drops += 1
+                st_rms._drop(_phantom(body), "checksum failure")
+                return
+            data = body
+        if entry.flags & FLAG_MAC:
+            if len(data) < MAC_BYTES:
+                self.stats.auth_drops += 1
+                return
+            body, tag = data[:-MAC_BYTES], data[-MAC_BYTES:]
+            context = f"{st_rms.sender}|{entry.seq}".encode("utf-8")
+            if not verify_mac(st_rms.session_key, body, tag, context):
+                self.stats.auth_drops += 1
+                st_rms._drop(_phantom(body), "authentication failure")
+                return
+            data = body
+        if entry.flags & FLAG_ENCRYPTED:
+            nonce = (entry.st_rms_id << 32) | (entry.seq & 0xFFFFFFFF)
+            data = StreamCipher(st_rms.session_key).apply(nonce, data)
+        self.stats.components_received += 1
+        if entry.is_fragment:
+            self._receive_fragment(rx, entry, data)
+        else:
+            self._deliver_after_cpu(rx, data, entry.send_time)
+
+    def _receive_fragment(
+        self, rx: _RxStream, entry: BundleEntry, data: bytes
+    ) -> None:
+        self.stats.fragments_received += 1
+        if entry.frag_offset == 0:
+            if rx.partial_expected and len(rx.partial) < rx.partial_expected:
+                # A fragment of the next message arrived while a message
+                # was incomplete: discard the partial (section 4.3).
+                self.stats.partials_discarded += 1
+                rx.st_rms._drop(_phantom(bytes(rx.partial)), "partial discarded")
+            rx.partial = bytearray()
+            rx.partial_expected = entry.frag_total
+            rx.partial_offset = 0
+            rx.partial_send_time = entry.send_time
+        if entry.frag_offset != rx.partial_offset or rx.partial_expected == 0:
+            # A gap (lost fragment): the message can never complete.
+            # Leave the partial to be discarded on the next first-fragment.
+            rx.partial_offset = -1
+            return
+        rx.partial.extend(data)
+        rx.partial_offset += len(data)
+        if len(rx.partial) >= rx.partial_expected:
+            payload = bytes(rx.partial)
+            rx.partial = bytearray()
+            rx.partial_expected = 0
+            rx.partial_offset = 0
+            self._deliver_after_cpu(rx, payload, rx.partial_send_time)
+
+    def _deliver_after_cpu(
+        self, rx: _RxStream, payload: bytes, send_time: float
+    ) -> None:
+        st_rms = rx.st_rms
+        receiver_host = st_rms.receiver.host
+        network = self._peer(rx.sender_host).network
+        host = network.hosts.get(receiver_host)
+        if host is None:  # pragma: no cover - receiver always attached
+            return
+        bound = st_rms.params.delay_bound
+        deadline = (
+            send_time + bound.bound_for(len(payload))
+            if not bound.is_unbounded
+            else self.context.now + self.config.recv_stage_allowance
+        )
+        # In-sequence delivery (basic property 2): CPU-stage deadlines on
+        # one stream never decrease, so stable EDF keeps stream order.
+        deadline = max(deadline, rx.last_cpu_deadline)
+        rx.last_cpu_deadline = deadline
+        plan = st_rms.plan
+        host.cpu.submit_protocol_stage(
+            f"st/recv:{st_rms.rms_id}",
+            len(payload),
+            deadline,
+            lambda: self._final_deliver(rx, payload, send_time),
+            checksum=plan.checksum,
+            encrypt=plan.encrypt,
+            mac=plan.mac,
+        )
+
+    def _final_deliver(self, rx: _RxStream, payload: bytes, send_time: float) -> None:
+        st_rms = rx.st_rms
+        if st_rms.state is not RmsState.OPEN:
+            return
+        message = Message(
+            payload, source=st_rms.sender, target=st_rms.receiver
+        )
+        message.send_time = send_time
+        st_rms._deliver(message)
+        if rx.fast_ack:
+            peer = self._peer(rx.sender_host)
+            self._send_control(
+                peer,
+                {
+                    "op": "fast_ack",
+                    "st_id": st_rms.rms_id,
+                    "seq": st_rms.stats.messages_delivered,
+                },
+            )
+            self.stats.fast_acks_sent += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<SubtransportLayer host={self.host.name} peers={len(self._peers)} "
+            f"rx={len(self._rx)}>"
+        )
+
+
+def _pipe(source: Future, sink: Future) -> None:
+    """Copy one future's outcome into another."""
+    if source.failed:
+        try:
+            source.result()
+        except BaseException as error:  # noqa: BLE001
+            sink.set_exception(error)
+    else:
+        sink.set_result(source.result())
+
+
+def _encode_single(entry: BundleEntry) -> bytes:
+    from repro.subtransport.wire import encode_bundle
+
+    return encode_bundle([entry])
+
+
+def _phantom(payload: bytes) -> Message:
+    """A placeholder message for drop accounting of undecodable data."""
+    return Message(payload)

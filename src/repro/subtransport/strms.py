@@ -1,0 +1,84 @@
+"""ST-level Real-Time Message Streams (sections 3.2 and 3.4).
+
+An :class:`StRms` is the RMS the subtransport layer provides to its
+clients (transport protocols and kernel services).  Its delay bound
+covers ST send processing, piggyback queueing, the underlying network
+RMS, and ST receive processing.  Sending hands the message to the
+sender's subtransport layer; delivery happens on a port of the receiving
+host.
+
+The class-level registry maps ST RMS ids to objects so the receiving
+subtransport layer can resolve ids arriving in bundle subheaders -- the
+in-process analogue of both ends agreeing on a stream id during
+establishment.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import ClassVar, Optional, TYPE_CHECKING
+
+from repro.core.message import Label, Message
+from repro.core.params import RmsParams
+from repro.core.rms import Rms, RmsLevel
+from repro.sim.context import SimContext
+from repro.sim.events import Signal
+from repro.sim.ports import Port
+from repro.subtransport.security import SecurityPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.subtransport.mux import MuxBinding
+    from repro.subtransport.st import SubtransportLayer
+
+__all__ = ["StRms"]
+
+
+class StRms(Rms):
+    """A subtransport-level RMS."""
+
+    level = RmsLevel.SUBTRANSPORT
+
+    registry: ClassVar["weakref.WeakValueDictionary[int, StRms]"] = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __init__(
+        self,
+        context: SimContext,
+        params: RmsParams,
+        sender: Label,
+        receiver: Label,
+        sender_st: "SubtransportLayer",
+        plan: SecurityPlan,
+        session_key: bytes,
+        fast_ack: bool = False,
+        receiver_port: Optional[Port] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            context, params, sender, receiver, name=name, receiver_port=receiver_port
+        )
+        self.sender_st = sender_st
+        self.plan = plan
+        self.session_key = session_key
+        self.fast_ack = fast_ack
+        self.binding: Optional["MuxBinding"] = None
+        self.next_seq = 0
+        #: Fired with the acknowledged sequence number when the receiving
+        #: ST's fast-acknowledgement service reports delivery (3.2).
+        self.on_fast_ack: Signal = Signal(context.loop)
+        self.fragments_sent = 0
+        self.messages_fragmented = 0
+        StRms.registry[self.rms_id] = self
+
+    def take_seq(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def _transmit(self, message: Message) -> None:
+        self.sender_st._st_send(self, message)
+
+    def close(self) -> None:
+        """Tear the stream down via the owning subtransport layer."""
+        self.sender_st.close_st_rms(self)

@@ -1,0 +1,173 @@
+"""Wire formats of the subtransport layer.
+
+ST client messages travel inside network RMS messages as *bundles*: a
+count followed by length-prefixed components, each with a subheader
+carrying the ST RMS id, sequence number, flags, a send timestamp (for
+delay accounting) and, for fragments, reassembly fields.  Keeping the
+encoding in real bytes makes overhead accounting honest -- piggybacking
+amortizes the per-network-message overhead (frame + headers) across
+components, while each component still pays its subheader.
+
+Control-channel messages are JSON objects prefixed with a one-byte
+format tag; their payloads are small and infrequent, so encoding
+elegance matters less than debuggability.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import TransportError
+
+__all__ = [
+    "BundleEntry",
+    "encode_bundle",
+    "decode_bundle",
+    "encode_control",
+    "decode_control",
+    "control_mac_material",
+    "SUBHEADER_BYTES",
+    "FRAG_HEADER_BYTES",
+    "FLAG_FRAGMENT",
+    "FLAG_ENCRYPTED",
+    "FLAG_MAC",
+    "FLAG_CHECKSUM",
+]
+
+#: Per-component subheader: st_rms_id(4) seq(4) flags(2) length(4) ts(8).
+SUBHEADER_BYTES = 22
+_SUBHEADER = struct.Struct(">IIHId")
+
+#: Fragment prefix inside the component body: offset(4) total(4).
+FRAG_HEADER_BYTES = 8
+_FRAG_HEADER = struct.Struct(">II")
+
+_BUNDLE_COUNT = struct.Struct(">H")
+
+FLAG_FRAGMENT = 0x0001
+FLAG_ENCRYPTED = 0x0002
+FLAG_MAC = 0x0004
+FLAG_CHECKSUM = 0x0008
+
+
+@dataclass
+class BundleEntry:
+    """One ST client message (or fragment) inside a bundle."""
+
+    st_rms_id: int
+    seq: int
+    flags: int
+    payload: bytes
+    send_time: float
+    frag_offset: int = 0
+    frag_total: int = 0  # total original-message bytes, 0 if not a fragment
+
+    @property
+    def is_fragment(self) -> bool:
+        return bool(self.flags & FLAG_FRAGMENT)
+
+    @property
+    def encoded_size(self) -> int:
+        size = SUBHEADER_BYTES + len(self.payload)
+        if self.is_fragment:
+            size += FRAG_HEADER_BYTES
+        return size
+
+
+def encode_bundle(entries: List[BundleEntry]) -> bytes:
+    """Serialize components into one network-message payload."""
+    if not entries:
+        raise TransportError("cannot encode an empty bundle")
+    if len(entries) > 0xFFFF:
+        raise TransportError(f"bundle too large: {len(entries)} components")
+    parts = [_BUNDLE_COUNT.pack(len(entries))]
+    for entry in entries:
+        body = entry.payload
+        if entry.is_fragment:
+            body = _FRAG_HEADER.pack(entry.frag_offset, entry.frag_total) + body
+        parts.append(
+            _SUBHEADER.pack(
+                entry.st_rms_id, entry.seq, entry.flags, len(body), entry.send_time
+            )
+        )
+        parts.append(body)
+    return b"".join(parts)
+
+
+def decode_bundle(data: bytes) -> List[BundleEntry]:
+    """Parse a bundle payload; raises :class:`TransportError` if mangled."""
+    if len(data) < _BUNDLE_COUNT.size:
+        raise TransportError("bundle truncated: no count")
+    (count,) = _BUNDLE_COUNT.unpack_from(data, 0)
+    offset = _BUNDLE_COUNT.size
+    entries: List[BundleEntry] = []
+    for _ in range(count):
+        if offset + SUBHEADER_BYTES > len(data):
+            raise TransportError("bundle truncated: bad subheader")
+        st_rms_id, seq, flags, length, send_time = _SUBHEADER.unpack_from(data, offset)
+        offset += SUBHEADER_BYTES
+        if offset + length > len(data):
+            raise TransportError("bundle truncated: bad component length")
+        body = data[offset : offset + length]
+        offset += length
+        frag_offset = 0
+        frag_total = 0
+        if flags & FLAG_FRAGMENT:
+            if len(body) < FRAG_HEADER_BYTES:
+                raise TransportError("fragment truncated")
+            frag_offset, frag_total = _FRAG_HEADER.unpack_from(body, 0)
+            body = body[FRAG_HEADER_BYTES:]
+        entries.append(
+            BundleEntry(
+                st_rms_id=st_rms_id,
+                seq=seq,
+                flags=flags,
+                payload=body,
+                send_time=send_time,
+                frag_offset=frag_offset,
+                frag_total=frag_total,
+            )
+        )
+    if offset != len(data):
+        raise TransportError("bundle has trailing garbage")
+    return entries
+
+
+_CONTROL_TAG = b"\x01"
+
+
+def encode_control(fields: Dict[str, Any], mac: Optional[bytes] = None) -> bytes:
+    """Serialize a control message; an optional MAC tag is appended."""
+    body = _CONTROL_TAG + json.dumps(fields, separators=(",", ":")).encode("utf-8")
+    if mac is not None:
+        return body + b"\x02" + mac
+    return body
+
+
+def decode_control(data: bytes) -> Dict[str, Any]:
+    """Parse a control message; the MAC (if any) lands under ``"_mac"``."""
+    if not data.startswith(_CONTROL_TAG):
+        raise TransportError("not a control message")
+    body = data[1:]
+    mac: Optional[bytes] = None
+    # The MAC is a fixed 8 bytes after a 0x02 separator; JSON bodies never
+    # contain raw control characters, so a positional check is unambiguous.
+    if len(body) >= 9 and body[-9:-8] == b"\x02":
+        mac = body[-8:]
+        body = body[:-9]
+    try:
+        fields = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"mangled control message: {error}") from error
+    if mac is not None:
+        fields["_mac"] = mac.hex()
+    return fields
+
+
+def control_mac_material(fields: Dict[str, Any]) -> bytes:
+    """Canonical bytes a control-message MAC covers."""
+    clean = {key: value for key, value in fields.items() if key != "_mac"}
+    return json.dumps(clean, separators=(",", ":"), sort_keys=True).encode("utf-8")

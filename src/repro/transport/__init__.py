@@ -1,0 +1,33 @@
+"""Transport protocols: RKOM request/reply, stream protocols, flow control."""
+
+from repro.transport.flowcontrol import (
+    FlowControlMode,
+    RateBasedEnforcer,
+    ReceiverCredit,
+    WindowEnforcer,
+)
+from repro.transport.layers import LayeredRms, SubUserRms, UserRms
+from repro.transport.rkom import RkomConfig, RkomService, RkomStats
+from repro.transport.stream import (
+    StreamConfig,
+    StreamSession,
+    StreamStats,
+    open_stream,
+)
+
+__all__ = [
+    "FlowControlMode",
+    "LayeredRms",
+    "RateBasedEnforcer",
+    "ReceiverCredit",
+    "RkomConfig",
+    "RkomService",
+    "RkomStats",
+    "StreamConfig",
+    "StreamSession",
+    "StreamStats",
+    "SubUserRms",
+    "UserRms",
+    "WindowEnforcer",
+    "open_stream",
+]

@@ -1,0 +1,331 @@
+"""RKOM: the Remote Kernel Operation Mechanism (paper section 3.3).
+
+"All request/reply communication uses the DASH Remote Kernel Operation
+Mechanism (RKOM).  The RKOM module maintains an RKOM channel to each
+active peer.  Such a channel consists of four ST RMS's, one low-delay
+and one high-delay RMS in each direction.  The low-delay RMS's are used
+for initial request and reply messages, and the high-delay RMS's are
+used for retransmissions and acknowledgements."
+
+Each host runs one :class:`RkomService`.  Channels are created lazily on
+the first call to a peer; the reverse-direction pair is created by the
+peer's service when it first replies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.errors import RkomTimeoutError, TransportError
+from repro.sim.context import SimContext
+from repro.sim.events import EventHandle
+from repro.sim.process import Future
+from repro.subtransport.st import SubtransportLayer
+from repro.subtransport.strms import StRms
+
+__all__ = ["RkomConfig", "RkomStats", "RkomService"]
+
+LOW_PORT = "rkom-lo"
+HIGH_PORT = "rkom-hi"
+
+_HEADER = struct.Struct(">BQH")  # kind, request id, op-name length
+_KIND_REQUEST = 1
+_KIND_REPLY = 2
+_KIND_ACK = 3
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class RkomConfig:
+    """Tunables of the RKOM module."""
+
+    low_delay_bound: float = 0.05
+    high_delay_bound: float = 1.0
+    capacity: int = 64 * 1024
+    max_message_size: int = 8 * 1024
+    request_timeout: float = 0.25
+    max_retransmits: int = 5
+    backoff: float = 2.0
+    reply_cache_size: int = 256
+
+
+@dataclass
+class RkomStats:
+    calls: int = 0
+    replies: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    duplicate_requests: int = 0
+    requests_served: int = 0
+
+
+@dataclass
+class _PendingCall:
+    future: Future
+    frame: bytes
+    peer: str
+    retries: int = 0
+    timeout: float = 0.0
+    timer: Optional[EventHandle] = None
+
+
+class _Channel:
+    """The outbound half of an RKOM channel to one peer."""
+
+    def __init__(self) -> None:
+        self.low: Optional[StRms] = None
+        self.high: Optional[StRms] = None
+        self.state = "none"  # none | creating | ready
+        self.waiters: list = []
+
+
+class RkomService:
+    """Request/reply communication for one host."""
+
+    def __init__(
+        self,
+        context: SimContext,
+        st: SubtransportLayer,
+        config: Optional[RkomConfig] = None,
+    ) -> None:
+        self.context = context
+        self.st = st
+        self.config = config or RkomConfig()
+        self.stats = RkomStats()
+        self.handlers: Dict[str, Callable[[bytes, str], Any]] = {}
+        self._channels: Dict[str, _Channel] = {}
+        self._pending: Dict[int, _PendingCall] = {}
+        #: Reply cache for at-most-once execution of duplicates.
+        self._served: "OrderedDict[Tuple[str, int], Optional[bytes]]" = OrderedDict()
+        host = st.host
+        host.bind_port(LOW_PORT).set_handler(self._arrived)
+        host.bind_port(HIGH_PORT).set_handler(self._arrived)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def register_handler(self, op: str, handler: Callable[[bytes, str], Any]) -> None:
+        """Serve ``op`` requests; the handler returns bytes or a Future."""
+        self.handlers[op] = handler
+
+    def call(
+        self,
+        peer_host: str,
+        op: str,
+        payload: bytes = b"",
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Invoke ``op`` on ``peer_host``; resolves to the reply bytes."""
+        request_id = next(_request_ids)
+        op_bytes = op.encode("utf-8")
+        frame = _HEADER.pack(_KIND_REQUEST, request_id, len(op_bytes)) + op_bytes + payload
+        pending = _PendingCall(
+            future=Future(self.context.loop),
+            frame=frame,
+            peer=peer_host,
+            timeout=timeout or self.config.request_timeout,
+        )
+        self._pending[request_id] = pending
+        self.stats.calls += 1
+        self._with_channel(
+            peer_host, lambda channel: self._send_request(request_id, channel)
+        )
+        return pending.future
+
+    def _send_request(self, request_id: int, channel: _Channel) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        # Initial requests ride the low-delay RMS.
+        channel.low.send(pending.frame)
+        pending.timer = self.context.loop.call_after(
+            pending.timeout, self._timeout_fired, request_id
+        )
+
+    def _timeout_fired(self, request_id: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        pending.retries += 1
+        if pending.retries > self.config.max_retransmits:
+            self._pending.pop(request_id, None)
+            self.stats.timeouts += 1
+            pending.future.set_exception(
+                RkomTimeoutError(
+                    f"no reply from {pending.peer} after "
+                    f"{self.config.max_retransmits} retransmissions"
+                )
+            )
+            return
+        self.stats.retransmissions += 1
+        channel = self._channels.get(pending.peer)
+        if channel is not None and channel.state == "ready":
+            # Retransmissions ride the high-delay RMS.
+            channel.high.send(pending.frame)
+        pending.timeout *= self.config.backoff
+        pending.timer = self.context.loop.call_after(
+            pending.timeout, self._timeout_fired, request_id
+        )
+
+    # ------------------------------------------------------------------
+    # Channel management
+    # ------------------------------------------------------------------
+
+    def _with_channel(self, peer_host: str, action: Callable[[_Channel], None]) -> None:
+        channel = self._channels.setdefault(peer_host, _Channel())
+        if channel.state == "ready":
+            action(channel)
+            return
+        channel.waiters.append(action)
+        if channel.state == "creating":
+            return
+        channel.state = "creating"
+        process = self.context.spawn(
+            self._create_channel(peer_host, channel),
+            name=f"rkom-chan:{self.st.host.name}->{peer_host}",
+        )
+        process.finished.add_done_callback(
+            lambda f: self._channel_done(peer_host, channel, f)
+        )
+
+    def _rms_params(self, delay: float) -> Tuple[RmsParams, RmsParams]:
+        desired = RmsParams(
+            capacity=self.config.capacity,
+            max_message_size=self.config.max_message_size,
+            delay_bound=DelayBound(delay, 2e-6),
+            delay_bound_type=DelayBoundType.BEST_EFFORT,
+        )
+        # Accept any message size the ST can offer down to one small
+        # request frame; narrow-MTU networks then negotiate lower.
+        acceptable = desired.with_(
+            delay_bound=DelayBound(delay * 4, 1e-5),
+            max_message_size=min(512, self.config.max_message_size),
+        )
+        return desired, acceptable
+
+    def _create_channel(self, peer_host: str, channel: _Channel):
+        low_desired, low_acceptable = self._rms_params(self.config.low_delay_bound)
+        channel.low = yield self.st.create_st_rms(
+            peer_host, port=LOW_PORT, desired=low_desired, acceptable=low_acceptable
+        )
+        high_desired, high_acceptable = self._rms_params(self.config.high_delay_bound)
+        channel.high = yield self.st.create_st_rms(
+            peer_host, port=HIGH_PORT, desired=high_desired, acceptable=high_acceptable
+        )
+        return channel
+
+    def _channel_done(self, peer_host: str, channel: _Channel, future: Future) -> None:
+        waiters, channel.waiters = channel.waiters, []
+        if future.failed:
+            channel.state = "none"
+            # Fail every call still waiting for this channel so callers
+            # see the error instead of hanging.
+            error = RkomTimeoutError(
+                f"RKOM channel to {peer_host} could not be established"
+            )
+            for request_id in list(self._pending):
+                pending = self._pending[request_id]
+                if pending.peer == peer_host:
+                    self._pending.pop(request_id, None)
+                    if pending.timer is not None:
+                        pending.timer.cancel()
+                    self.stats.timeouts += 1
+                    pending.future.set_exception(error)
+            return
+        channel.state = "ready"
+        for action in waiters:
+            action(channel)
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+
+    def _arrived(self, message) -> None:
+        data = message.payload
+        if len(data) < _HEADER.size:
+            return
+        kind, request_id, op_length = _HEADER.unpack_from(data, 0)
+        body = data[_HEADER.size :]
+        source_host = message.source.host if message.source else ""
+        if kind == _KIND_REQUEST:
+            op = body[:op_length].decode("utf-8", errors="replace")
+            payload = body[op_length:]
+            self._serve(source_host, request_id, op, payload)
+        elif kind == _KIND_REPLY:
+            pending = self._pending.pop(request_id, None)
+            if pending is None:
+                return
+            if pending.timer is not None:
+                pending.timer.cancel()
+            self.stats.replies += 1
+            pending.future.set_result(body)
+            self._send_ack(source_host, request_id)
+        elif kind == _KIND_ACK:
+            self._served.pop((source_host, request_id), None)
+
+    def _serve(self, source_host: str, request_id: int, op: str, payload: bytes) -> None:
+        key = (source_host, request_id)
+        if key in self._served:
+            self.stats.duplicate_requests += 1
+            cached = self._served[key]
+            if cached is not None:
+                # Retransmitted replies ride the high-delay RMS.
+                self._send_reply(source_host, request_id, cached, retransmit=True)
+            return
+        handler = self.handlers.get(op)
+        if handler is None:
+            self._served[key] = b""
+            self._send_reply(source_host, request_id, b"", retransmit=False)
+            return
+        self._served[key] = None  # in progress
+        self._trim_cache()
+        self.stats.requests_served += 1
+        result = handler(payload, source_host)
+        if isinstance(result, Future):
+            result.add_done_callback(
+                lambda f: self._reply_ready(source_host, request_id, f)
+            )
+        else:
+            self._finish_serve(source_host, request_id, bytes(result))
+
+    def _reply_ready(self, source_host: str, request_id: int, future: Future) -> None:
+        if future.failed:
+            self._finish_serve(source_host, request_id, b"")
+        else:
+            self._finish_serve(source_host, request_id, bytes(future.result()))
+
+    def _finish_serve(self, source_host: str, request_id: int, reply: bytes) -> None:
+        self._served[(source_host, request_id)] = reply
+        self._send_reply(source_host, request_id, reply, retransmit=False)
+
+    def _send_reply(
+        self, peer_host: str, request_id: int, reply: bytes, retransmit: bool
+    ) -> None:
+        frame = _HEADER.pack(_KIND_REPLY, request_id, 0) + reply
+
+        def send(channel: _Channel) -> None:
+            rms = channel.high if retransmit else channel.low
+            rms.send(frame)
+
+        self._with_channel(peer_host, send)
+
+    def _send_ack(self, peer_host: str, request_id: int) -> None:
+        frame = _HEADER.pack(_KIND_ACK, request_id, 0)
+        self._with_channel(peer_host, lambda channel: channel.high.send(frame))
+
+    def _trim_cache(self) -> None:
+        while len(self._served) > self.config.reply_cache_size:
+            self._served.popitem(last=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RkomService host={self.st.host.name} channels="
+            f"{len(self._channels)} pending={len(self._pending)}>"
+        )

@@ -1,0 +1,507 @@
+"""Stream protocols for bulk data transfer (paper sections 2.5, 3.3, 4.4).
+
+A :class:`StreamSession` is a simplex transport session built from ST
+RMSs, following the section-2.5 parameter recipes:
+
+- the data path uses a *high capacity, high delay* ST RMS;
+- acknowledgements use a *low capacity* reverse ST RMS -- low delay when
+  it carries flow-control information, high delay when it only carries
+  reliability acks;
+- alternatively the ST *fast acknowledgement* service replaces the
+  reverse RMS for fixed-size record streams (section 3.2, bench E13).
+
+Reliability (sequence numbers, cumulative acks, retransmission),
+RMS capacity enforcement (rate- or window-based), receiver flow control
+(credits in acks), and sender flow control (a flow-controlled local IPC
+port) are each independently optional, composing the Figure-5 options.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.errors import ParameterError, TransportError
+from repro.sim.context import SimContext
+from repro.sim.events import EventHandle
+from repro.sim.ports import FlowControlledPort, Port
+from repro.sim.process import Future
+from repro.subtransport.st import SubtransportLayer
+from repro.subtransport.strms import StRms
+from repro.transport.flowcontrol import (
+    FlowControlMode,
+    RateBasedEnforcer,
+    ReceiverCredit,
+    WindowEnforcer,
+)
+
+__all__ = ["StreamConfig", "StreamStats", "StreamSession", "open_stream"]
+
+_session_ids = itertools.count(1)
+
+_DATA_HEADER = struct.Struct(">IB")  # seq, flags
+_ACK_FORMAT = struct.Struct(">BII")  # kind, cumulative ack, credit grant
+
+_FLAG_NONE = 0
+_ACK_KIND = 1
+
+
+@dataclass
+class StreamConfig:
+    """Behaviour of one stream session."""
+
+    reliable: bool = True
+    #: "rate", "ack", or None (no RMS capacity enforcement).
+    capacity_mode: Optional[str] = "ack"
+    flow_control: FlowControlMode = FlowControlMode.END_TO_END
+    receive_buffer: int = 64 * 1024
+    #: Sender-side IPC port depth in messages (sender flow control).
+    sender_port_limit: int = 16
+    #: Use the ST fast-ack service instead of a reverse ack RMS.  Only
+    #: legal for fixed-size records (``record_size`` must be set).
+    use_fast_ack: bool = False
+    record_size: Optional[int] = None
+    retransmit_timeout: float = 0.5
+    max_retransmits: int = 10
+    #: Send a cumulative ack every N in-order deliveries.
+    ack_every: int = 2
+    #: ST RMS capacity for the data path.
+    data_capacity: int = 64 * 1024
+    data_max_message: int = 8 * 1024
+    #: Delay bound (seconds) for the data ST RMS; None = best-effort.
+    data_delay_bound: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_mode not in (None, "rate", "ack"):
+            raise ParameterError(f"unknown capacity mode {self.capacity_mode!r}")
+        if self.use_fast_ack and self.record_size is None:
+            raise ParameterError("fast-ack streaming requires a fixed record_size")
+        if self.ack_every < 1:
+            raise ParameterError("ack_every must be >= 1")
+
+
+@dataclass
+class StreamStats:
+    """Counters for one stream session."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_delivered: int = 0
+    bytes_delivered: int = 0
+    retransmissions: int = 0
+    acks_sent: int = 0
+    receiver_overflow_drops: int = 0
+    duplicates_discarded: int = 0
+
+
+class StreamSession:
+    """One simplex transport stream between two hosts.
+
+    Use :func:`open_stream` to construct; both endpoints of the session
+    are methods of this object (the simulation is single-process), with
+    sender-side state prefixed ``tx`` and receiver-side ``rx``.
+    """
+
+    def __init__(
+        self,
+        context: SimContext,
+        config: StreamConfig,
+        data_rms: StRms,
+        ack_rms: Optional[StRms],
+    ) -> None:
+        self.context = context
+        self.config = config
+        self.data_rms = data_rms
+        self.ack_rms = ack_rms
+        self.stats = StreamStats()
+        self.session_id = next(_session_ids)
+        # -- sender state --
+        self.tx_next_seq = 0
+        self._in_protocol = 0
+        self._pump_pending = False
+        self.tx_unacked: Dict[int, bytes] = {}
+        self.tx_sizes: Dict[int, int] = {}
+        self.tx_cumulative_acked = -1
+        self._retransmit_timer: Optional[EventHandle] = None
+        self._retransmit_count = 0
+        self.failed: Optional[str] = None
+        self.tx_port: Optional[FlowControlledPort] = None
+        if config.flow_control.has_sender_fc:
+            self.tx_port = FlowControlledPort(
+                context.loop,
+                limit=config.sender_port_limit,
+                name=f"stream{self.session_id}.txport",
+            )
+        self._rate: Optional[RateBasedEnforcer] = None
+        self._window: Optional[WindowEnforcer] = None
+        if config.capacity_mode == "rate" and config.flow_control.enforces_capacity:
+            self._rate = RateBasedEnforcer(context, data_rms.params)
+        elif config.capacity_mode == "ack" and config.flow_control.enforces_capacity:
+            self._window = WindowEnforcer(context, data_rms.params.capacity)
+        self._credit: Optional[ReceiverCredit] = None
+        if config.flow_control.has_receiver_fc:
+            self._credit = ReceiverCredit(config.receive_buffer)
+        # -- receiver state --
+        self.rx_expected_seq = 0
+        self.rx_buffer: Dict[int, bytes] = {}
+        self.rx_port = Port(context.loop, name=f"stream{self.session_id}.rx")
+        self.rx_buffered_bytes = 0
+        self.rx_since_ack = 0
+        self.rx_pending_grant = 0
+        # Wire up delivery paths.
+        data_rms.port.set_handler(self._data_arrived)
+        data_rms.on_failure.listen(lambda rms, reason: self._fail(reason))
+        if ack_rms is not None:
+            ack_rms.port.set_handler(self._ack_arrived)
+        if config.use_fast_ack:
+            data_rms.on_fast_ack.listen(self._fast_ack_arrived)
+            self._fast_acked = 0
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+
+    def send(self, payload: bytes) -> Future:
+        """Offer one message; the future resolves when the send protocol
+        accepts it (immediately unless sender flow control pushes back)."""
+        if self.failed:
+            raise TransportError(f"stream failed: {self.failed}")
+        if self.config.record_size is not None and len(payload) != self.config.record_size:
+            raise ParameterError(
+                f"record stream requires {self.config.record_size}B records, "
+                f"got {len(payload)}B"
+            )
+        if self.tx_port is not None:
+            accepted = self.tx_port.put(payload)
+            self.context.loop.call_soon(self._pump_tx_port)
+            return accepted
+        future = Future(self.context.loop)
+        future.set_result(None)
+        self._admit(payload)
+        return future
+
+    #: How many admitted-but-untransmitted messages the send protocol
+    #: holds before it stops reading its IPC port (section 4.4).
+    _PROTOCOL_DEPTH = 4
+
+    def _pump_tx_port(self) -> None:
+        # The send protocol reads the IPC port only while it can make
+        # progress ("the sending transport protocol stops reading
+        # messages from the port while it is prevented from sending").
+        if self.tx_port is None or self._pump_pending:
+            return
+        if self._in_protocol >= self._PROTOCOL_DEPTH:
+            return
+        if len(self.tx_port) == 0 and not self.tx_port._putters:
+            return
+        self._pump_pending = True
+        taken = self.tx_port.take()
+
+        def on_taken(future: Future) -> None:
+            self._pump_pending = False
+            self._admit(future.result())
+            self._pump_tx_port()
+
+        taken.add_done_callback(on_taken)
+
+    def _admit(self, payload: bytes) -> None:
+        seq = self.tx_next_seq
+        self.tx_next_seq += 1
+        self._in_protocol += 1
+        if self.config.reliable:
+            self.tx_unacked[seq] = payload
+        self.tx_sizes[seq] = len(payload)
+        self._gate_receiver(seq, payload)
+
+    def _gate_receiver(self, seq: int, payload: bytes) -> None:
+        if self._credit is not None:
+            self._credit.request(len(payload), lambda: self._gate_capacity(seq, payload))
+        else:
+            self._gate_capacity(seq, payload)
+
+    def _gate_capacity(self, seq: int, payload: bytes) -> None:
+        size = len(payload) + _DATA_HEADER.size
+        if self._rate is not None:
+            self._rate.request(size, lambda: self._transmit(seq, payload))
+        elif self._window is not None:
+            self._window.request(size, lambda: self._transmit(seq, payload))
+        else:
+            self._transmit(seq, payload)
+
+    def _transmit(self, seq: int, payload: bytes) -> None:
+        self._in_protocol = max(0, self._in_protocol - 1)
+        if self.failed:
+            return
+        frame = _DATA_HEADER.pack(seq, _FLAG_NONE) + payload
+        self.data_rms.send(frame)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(payload)
+        if self.config.reliable:
+            self._arm_retransmit()
+        self._pump_tx_port()
+
+    # -- reliability ------------------------------------------------------
+
+    def _arm_retransmit(self) -> None:
+        if self._retransmit_timer is not None and not self._retransmit_timer.cancelled:
+            return
+        if not self.tx_unacked:
+            return
+        self._retransmit_timer = self.context.loop.call_after(
+            self.config.retransmit_timeout, self._retransmit_fired
+        )
+
+    def _retransmit_fired(self) -> None:
+        self._retransmit_timer = None
+        if not self.tx_unacked or self.failed:
+            return
+        self._retransmit_count += 1
+        if self._retransmit_count > self.config.max_retransmits:
+            self._fail("retransmission limit exceeded")
+            return
+        oldest = min(self.tx_unacked)
+        payload = self.tx_unacked[oldest]
+        frame = _DATA_HEADER.pack(oldest, _FLAG_NONE) + payload
+        size = len(frame)
+        self.stats.retransmissions += 1
+
+        def resend() -> None:
+            if not self.failed and oldest in self.tx_unacked:
+                self.data_rms.send(frame)
+
+        if self._rate is not None:
+            self._rate.request(size, resend)
+        elif self._window is not None:
+            # Window space for the original send is still held; the
+            # retransmission reuses it rather than double-counting.
+            resend()
+        else:
+            resend()
+        self._arm_retransmit()
+
+    def _fail(self, reason: str) -> None:
+        if self.failed:
+            return
+        self.failed = reason
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+
+    # -- acks arriving at the sender ----------------------------------------
+
+    def _ack_arrived(self, message) -> None:
+        if len(message.payload) < _ACK_FORMAT.size:
+            return
+        kind, cumulative, grant = _ACK_FORMAT.unpack_from(message.payload, 0)
+        if kind != _ACK_KIND:
+            return
+        self._apply_ack(cumulative, grant)
+
+    def _fast_ack_arrived(self, _count: int) -> None:
+        # Fast acks carry only a delivery count; with fixed-size records
+        # that is enough to open the capacity window and return credit.
+        self._fast_acked += 1
+        record = (self.config.record_size or 0) + _DATA_HEADER.size
+        if self._window is not None:
+            self._window.acknowledge(record)
+        if self._credit is not None:
+            self._credit.grant(record - _DATA_HEADER.size)
+        seq = self._fast_acked - 1
+        self.tx_unacked.pop(seq, None)
+        if not self.tx_unacked and self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+        self._retransmit_count = 0
+
+    def _apply_ack(self, cumulative: int, grant: int) -> None:
+        acked_bytes = 0
+        for seq in list(self.tx_unacked):
+            if seq <= cumulative:
+                self.tx_unacked.pop(seq)
+        for seq in list(self.tx_sizes):
+            if seq <= cumulative:
+                acked_bytes += self.tx_sizes.pop(seq) + _DATA_HEADER.size
+        if cumulative > self.tx_cumulative_acked:
+            self.tx_cumulative_acked = cumulative
+            self._retransmit_count = 0
+        if self._window is not None and acked_bytes:
+            self._window.acknowledge(acked_bytes)
+        if self._credit is not None and grant:
+            self._credit.grant(grant)
+        if not self.tx_unacked and self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+        elif self.tx_unacked:
+            self._arm_retransmit()
+
+    @property
+    def all_acked(self) -> bool:
+        return not self.tx_unacked
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+
+    def _data_arrived(self, message) -> None:
+        if len(message.payload) < _DATA_HEADER.size:
+            return
+        seq, _flags = _DATA_HEADER.unpack_from(message.payload, 0)
+        payload = message.payload[_DATA_HEADER.size :]
+        if seq < self.rx_expected_seq or seq in self.rx_buffer:
+            self.stats.duplicates_discarded += 1
+            self._maybe_send_ack(force=True)
+            return
+        if (
+            self.rx_buffered_bytes + len(payload) > self.config.receive_buffer
+            and not self.config.flow_control.has_receiver_fc
+        ):
+            # No receiver flow control and the buffer is full: overrun.
+            self.stats.receiver_overflow_drops += 1
+            return
+        self.rx_buffer[seq] = payload
+        self.rx_buffered_bytes += len(payload)
+        self._deliver_in_order()
+
+    def _deliver_in_order(self) -> None:
+        while self.rx_expected_seq in self.rx_buffer:
+            payload = self.rx_buffer.pop(self.rx_expected_seq)
+            self.rx_expected_seq += 1
+            self.stats.messages_delivered += 1
+            self.stats.bytes_delivered += len(payload)
+            self.rx_since_ack += 1
+            self.rx_port.deliver(payload)
+        self._maybe_send_ack()
+
+    def receive(self) -> Future:
+        """The receiving application takes the next message.
+
+        Consuming returns credit to the sender when receiver flow
+        control is on (the grant rides the next ack).
+        """
+        future = self.rx_port.get()
+        future.add_done_callback(self._consumed)
+        return future
+
+    def _consumed(self, future: Future) -> None:
+        payload = future.result()
+        self.rx_buffered_bytes = max(0, self.rx_buffered_bytes - len(payload))
+        if self.config.flow_control.has_receiver_fc:
+            self.rx_pending_grant += len(payload)
+            self._maybe_send_ack(force=True)
+
+    def _maybe_send_ack(self, force: bool = False) -> None:
+        if self.ack_rms is None:
+            return
+        if not force and self.rx_since_ack < self.config.ack_every:
+            return
+        if self.rx_since_ack == 0 and self.rx_pending_grant == 0 and not force:
+            return
+        self.rx_since_ack = 0
+        grant, self.rx_pending_grant = self.rx_pending_grant, 0
+        ack = _ACK_FORMAT.pack(_ACK_KIND, self.rx_expected_seq - 1, grant)
+        self.ack_rms.send(ack)
+        self.stats.acks_sent += 1
+
+    # ------------------------------------------------------------------
+
+    def goodput(self, elapsed: float) -> float:
+        """Delivered application bytes per second over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.stats.bytes_delivered / elapsed
+
+    def close(self) -> None:
+        """Tear down both ST RMSs."""
+        self.data_rms.close()
+        if self.ack_rms is not None:
+            self.ack_rms.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<StreamSession #{self.session_id} sent={self.stats.messages_sent} "
+            f"delivered={self.stats.messages_delivered}>"
+        )
+
+
+def open_stream(
+    context: SimContext,
+    sender_st: SubtransportLayer,
+    receiver_st: SubtransportLayer,
+    config: Optional[StreamConfig] = None,
+) -> Future:
+    """Open a stream session; resolves to a :class:`StreamSession`.
+
+    Creates the data ST RMS (sender to receiver) and, unless fast acks
+    replace it, the reverse ack ST RMS per the section-2.5 recipes.
+    """
+    config = config or StreamConfig()
+    result = Future(context.loop)
+    session_tag = next(_session_ids)
+
+    def flow():
+        if config.data_delay_bound is not None:
+            bound = DelayBound(config.data_delay_bound, 2e-6)
+            bound_loose = DelayBound(config.data_delay_bound * 2, 1e-5)
+        else:
+            bound = DelayBound.unbounded()
+            bound_loose = DelayBound.unbounded()
+        data_desired = RmsParams(
+            capacity=config.data_capacity,
+            max_message_size=config.data_max_message,
+            delay_bound=bound,
+            delay_bound_type=DelayBoundType.BEST_EFFORT,
+        )
+        data_acceptable = data_desired.with_(delay_bound=bound_loose)
+        data_rms = yield sender_st.create_st_rms(
+            receiver_st.host.name,
+            port=f"stream-data-{session_tag}",
+            desired=data_desired,
+            acceptable=data_acceptable,
+            fast_ack=config.use_fast_ack,
+        )
+        ack_rms = None
+        needs_acks = (
+            config.reliable
+            or config.capacity_mode == "ack"
+            or config.flow_control.has_receiver_fc
+        )
+        if needs_acks and not config.use_fast_ack:
+            # Low delay when the acks gate flow; high delay when they
+            # only confirm reliability (section 2.5).
+            gating = (
+                config.capacity_mode == "ack"
+                or config.flow_control.has_receiver_fc
+            )
+            ack_delay = 0.05 if gating else 1.0
+            ack_desired = RmsParams(
+                capacity=2048,
+                max_message_size=256,
+                delay_bound=DelayBound(ack_delay, 1e-6),
+                delay_bound_type=DelayBoundType.BEST_EFFORT,
+            )
+            ack_acceptable = ack_desired.with_(
+                delay_bound=DelayBound(ack_delay * 4, 1e-5)
+            )
+            ack_rms = yield receiver_st.create_st_rms(
+                sender_st.host.name,
+                port=f"stream-ack-{session_tag}",
+                desired=ack_desired,
+                acceptable=ack_acceptable,
+            )
+        return StreamSession(context, config, data_rms, ack_rms)
+
+    process = context.spawn(flow(), name=f"open-stream-{session_tag}")
+
+    def done(future: Future) -> None:
+        if future.failed:
+            try:
+                future.result()
+            except BaseException as error:  # noqa: BLE001
+                result.set_exception(error)
+        else:
+            result.set_result(future.result())
+
+    process.finished.add_done_callback(done)
+    return result

@@ -1,0 +1,238 @@
+"""Tests for application workloads and the metrics package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.bulk import BulkTransfer
+from repro.apps.media import VideoStream, VoiceCall, voice_rms_params
+from repro.apps.rpcload import RpcWorkload
+from repro.apps.sources import PeriodicSource, PoissonSource
+from repro.apps.window import (
+    WindowSystemWorkload,
+    event_rms_params,
+    graphics_rms_params,
+)
+from repro.dash.system import DashSystem
+from repro.metrics.stats import SummaryStats, percentile, summarize
+from repro.metrics.collectors import DelayRecorder, ThroughputMeter, rms_scorecard
+from repro.metrics.report import Table, format_table
+from repro.transport.stream import StreamConfig
+
+
+def lan_system(seed=42, **kwargs):
+    system = DashSystem(seed=seed)
+    system.add_ethernet(trusted=True, **kwargs)
+    system.add_node("a")
+    system.add_node("b")
+    return system
+
+
+def open_st(system, sender="a", receiver="b", params=None, port="app"):
+    node = system.nodes[sender]
+    future = node.st.create_st_rms(
+        receiver, port=port, desired=params, acceptable=params
+    )
+    system.run(until=system.now + 2.0)
+    return future.result()
+
+
+class TestMetrics:
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+
+    def test_summarize_empty(self):
+        stats = summarize([])
+        assert stats.count == 0 and stats.mean == 0.0
+
+    def test_scaled(self):
+        stats = summarize([0.001, 0.002]).scaled(1000)
+        assert stats.mean == pytest.approx(1.5)
+
+    def test_delay_recorder_jitter(self):
+        recorder = DelayRecorder()
+        for delay in (0.010, 0.012, 0.010):
+            recorder.record(delay)
+        assert recorder.jitter() == pytest.approx(0.002)
+        assert len(recorder) == 3
+
+    def test_throughput_meter(self):
+        meter = ThroughputMeter(start_time=0.0)
+        meter.record(1000, now=1.0)
+        meter.record(1000, now=2.0)
+        assert meter.throughput() == pytest.approx(1000.0)
+        assert meter.throughput(end_time=4.0) == pytest.approx(500.0)
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["x", 1.5], ["longer", 20000.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "-" in lines[2]
+        assert len(lines) == 5
+
+    def test_table_class(self):
+        table = Table("title", ["a"])
+        table.add_row(0.12345)
+        assert "0.1235" in str(table)  # rounded to four decimals
+
+
+class TestMediaWorkloads:
+    def test_voice_call_over_lan(self):
+        system = lan_system()
+        rms = open_st(system, params=voice_rms_params(), port="voice")
+        call = VoiceCall(system.context, rms, duration=2.0)
+        system.run(until=system.now + 5.0)
+        report = call.report()
+        assert report.sent == 100  # 2 s at 20 ms per packet
+        assert report.delivered == report.sent
+        assert report.usable_fraction > 0.99
+        assert report.delay.mean < 0.08
+
+    def test_voice_jitter_reported(self):
+        system = lan_system()
+        rms = open_st(system, params=voice_rms_params(), port="voice")
+        call = VoiceCall(system.context, rms, duration=1.0)
+        system.run(until=system.now + 3.0)
+        assert call.report().jitter >= 0.0
+
+    def test_video_stream_fragments_frames(self):
+        system = lan_system()
+        params = voice_rms_params().with_(
+            capacity=65_536, max_message_size=12_000
+        )
+        rms = open_st(system, params=params, port="video")
+        stream = VideoStream(system.context, rms, duration=1.0)
+        system.run(until=system.now + 3.0)
+        report = stream.report()
+        assert report.sent == 30
+        assert report.delivered > 25
+        assert system.nodes["a"].st.stats.fragments_sent > 0
+
+
+class TestWindowWorkload:
+    def test_interactive_round_trips(self):
+        system = lan_system()
+        events = open_st(system, params=event_rms_params(), port="events")
+        graphics = open_st(
+            system, sender="b", receiver="a",
+            params=graphics_rms_params(), port="graphics",
+        )
+        workload = WindowSystemWorkload(
+            system.context, events, graphics, duration=2.0
+        )
+        system.run(until=system.now + 5.0)
+        report = workload.report()
+        assert report.events_sent > 20
+        assert report.events_delivered == report.events_sent
+        assert report.updates_delivered == report.updates_sent
+        # On a quiet LAN everything lands well within perception budget.
+        assert report.round_trips_over_budget == 0
+
+    def test_event_messages_are_small(self):
+        params = event_rms_params()
+        assert params.capacity <= 4096
+        assert graphics_rms_params().capacity > params.capacity
+
+
+class TestBulkWorkload:
+    def test_bulk_transfer_completes(self):
+        system = lan_system()
+        future = system.open_stream("a", "b", StreamConfig())
+        system.run(until=system.now + 2.0)
+        session = future.result()
+        transfer = BulkTransfer(
+            system.context, session, total_messages=30, message_size=2000
+        )
+        system.run(until=system.now + 20.0)
+        report = transfer.report()
+        assert transfer.done
+        assert report.consumed_messages == 30
+        assert report.goodput > 0
+
+
+class TestRpcWorkload:
+    def test_rpc_workload_measures_rtt(self):
+        system = lan_system()
+        system.nodes["b"].rkom.register_handler(
+            "echo", lambda payload, src: payload
+        )
+        workload = RpcWorkload(
+            system.context,
+            system.nodes["a"].rkom,
+            "b",
+            clients=2,
+            calls_per_client=10,
+        )
+        system.run(until=system.now + 20.0)
+        assert workload.done
+        report = workload.report()
+        assert report.calls_completed == 20
+        assert report.calls_failed == 0
+        assert report.rtt.mean > 0
+
+
+class TestSources:
+    def test_periodic_source_counts(self):
+        system = lan_system()
+        rms = open_st(system)
+        source = PeriodicSource(
+            system.context, rms, period=0.01, size=100, count=25
+        )
+        system.run(until=system.now + 2.0)
+        assert source.sent == 25
+        assert rms.stats.messages_sent == 25
+
+    def test_periodic_source_stop(self):
+        system = lan_system()
+        rms = open_st(system)
+        source = PeriodicSource(system.context, rms, period=0.01, size=100)
+        system.run(until=system.now + 0.2)
+        source.stop()
+        sent = source.sent
+        system.run(until=system.now + 0.5)
+        assert source.sent <= sent + 1
+
+    def test_poisson_source_randomizes_arrivals(self):
+        system = lan_system()
+        rms = open_st(system)
+        source = PoissonSource(
+            system.context, rms, rate=100.0, size_fn=lambda: 64, count=50
+        )
+        system.run(until=system.now + 5.0)
+        assert source.sent == 50
+
+    def test_source_survives_rms_failure(self):
+        system = lan_system()
+        rms = open_st(system)
+        source = PeriodicSource(system.context, rms, period=0.01, size=100)
+        system.run(until=system.now + 0.1)
+        rms.fail("induced")
+        system.run(until=system.now + 0.5)
+        assert source.process.done  # ended cleanly, no crash
+
+    def test_scorecard_snapshot(self):
+        system = lan_system()
+        rms = open_st(system)
+        rms.send(b"x" * 100)
+        system.run(until=system.now + 1.0)
+        card = rms_scorecard(rms)
+        assert card.sent == 1 and card.delivered == 1
+        assert card.loss_rate == 0.0
+        assert card.on_time_fraction == 1.0

@@ -1,0 +1,233 @@
+"""Tests for messages, the RMS base class, and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accounting import AccountingLedger, Tariff
+from repro.core.message import Label, Message
+from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.core.rms import Rms, RmsLevel, RmsState
+from repro.errors import MessageTooLargeError, ParameterError, RmsFailedError
+from repro.sim.context import SimContext
+
+
+class LoopbackRms(Rms):
+    """A test provider delivering after a fixed latency."""
+
+    def __init__(self, context, params, latency=0.01, **kwargs):
+        super().__init__(
+            context, params, Label("a", "p"), Label("b", "p"), **kwargs
+        )
+        self.latency = latency
+
+    def _transmit(self, message):
+        self.context.loop.call_after(self.latency, self._deliver, message)
+
+
+@pytest.fixture
+def context():
+    return SimContext(seed=9)
+
+
+@pytest.fixture
+def params():
+    return RmsParams(
+        capacity=10_000,
+        max_message_size=1_000,
+        delay_bound=DelayBound(0.1, 1e-6),
+        delay_bound_type=DelayBoundType.BEST_EFFORT,
+    )
+
+
+class TestMessage:
+    def test_payload_must_be_bytes(self):
+        with pytest.raises(ParameterError):
+            Message("not bytes")  # type: ignore[arg-type]
+
+    def test_bytearray_accepted_and_frozen(self):
+        message = Message(bytearray(b"abc"))
+        assert message.payload == b"abc"
+        assert isinstance(message.payload, bytes)
+
+    def test_size_is_payload_length(self):
+        assert Message(b"12345").size == 5
+
+    def test_wire_size_accounts_labels_and_headers(self):
+        bare = Message(b"1234")
+        labeled = Message(b"1234", source=Label("a"), target=Label("b"))
+        labeled.headers["seq"] = 1
+        assert bare.wire_size == 4
+        assert labeled.wire_size == 4 + 8 + 8 + Message.HEADER_FIELD_BYTES
+
+    def test_delay_requires_both_stamps(self):
+        message = Message(b"x")
+        assert message.delay is None
+        message.send_time = 1.0
+        message.deliver_time = 1.5
+        assert message.delay == pytest.approx(0.5)
+
+    def test_copy_gets_fresh_id(self):
+        message = Message(b"x", headers={"k": 1})
+        clone = message.copy()
+        assert clone.message_id != message.message_id
+        assert clone.headers == message.headers
+        clone.headers["k"] = 2
+        assert message.headers["k"] == 1
+
+    def test_message_ids_increase(self):
+        first = Message(b"")
+        second = Message(b"")
+        assert second.message_id > first.message_id
+
+    def test_label_string(self):
+        assert str(Label("host1", "port9")) == "host1:port9"
+
+
+class TestRmsBasicProperties:
+    def test_message_boundaries_preserved(self, context, params):
+        """Basic property 1: each send is one delivery."""
+        rms = LoopbackRms(context, params)
+        got = []
+        rms.port.set_handler(lambda m: got.append(m))
+        rms.send(b"a" * 100)
+        rms.send(b"b" * 200)
+        context.run()
+        assert [m.size for m in got] == [100, 200]
+
+    def test_in_sequence_delivery(self, context, params):
+        """Basic property 2: delivery order matches send order."""
+        rms = LoopbackRms(context, params)
+        got = []
+        rms.port.set_handler(lambda m: got.append(m.payload[0]))
+        for index in range(20):
+            rms.send(bytes([index]))
+        context.run()
+        assert got == list(range(20))
+
+    def test_failure_notifies_clients(self, context, params):
+        """Basic property 3: clients are notified of RMS failure."""
+        rms = LoopbackRms(context, params)
+        notified = []
+        rms.on_failure.listen(lambda r, reason: notified.append(reason))
+        rms.fail("link died")
+        assert notified == ["link died"]
+        assert rms.state is RmsState.FAILED
+
+    def test_send_after_failure_raises(self, context, params):
+        rms = LoopbackRms(context, params)
+        rms.fail()
+        with pytest.raises(RmsFailedError):
+            rms.send(b"x")
+
+    def test_send_after_delete_raises(self, context, params):
+        rms = LoopbackRms(context, params)
+        rms.delete()
+        with pytest.raises(RmsFailedError):
+            rms.send(b"x")
+
+    def test_fail_is_idempotent(self, context, params):
+        rms = LoopbackRms(context, params)
+        count = []
+        rms.on_failure.listen(lambda r, reason: count.append(1))
+        rms.fail()
+        rms.fail()
+        assert len(count) == 1
+
+
+class TestRmsEnforcement:
+    def test_max_message_size_enforced(self, context, params):
+        """Section 2.2: the MMS limit is enforced by the sender."""
+        rms = LoopbackRms(context, params)
+        with pytest.raises(MessageTooLargeError):
+            rms.send(b"x" * 1001)
+
+    def test_capacity_violations_counted_not_blocked(self, context, params):
+        """Section 4.4: the provider counts but does not block."""
+        rms = LoopbackRms(context, params, latency=1.0)
+        for _ in range(15):  # 15 kB outstanding > 10 kB capacity
+            rms.send(b"x" * 1000)
+        assert rms.stats.capacity_violations > 0
+        assert rms.stats.messages_sent == 15
+
+    def test_outstanding_bytes_tracked(self, context, params):
+        rms = LoopbackRms(context, params, latency=0.5)
+        rms.send(b"x" * 400)
+        assert rms.outstanding_bytes == 400
+        context.run()
+        assert rms.outstanding_bytes == 0
+
+    def test_late_delivery_counted(self, context, params):
+        slow = LoopbackRms(context, params, latency=0.5)  # bound is 0.1 s
+        slow.send(b"x" * 100)
+        context.run()
+        assert slow.stats.messages_late == 1
+
+    def test_on_time_delivery_not_late(self, context, params):
+        fast = LoopbackRms(context, params, latency=0.01)
+        fast.send(b"x" * 100)
+        context.run()
+        assert fast.stats.messages_late == 0
+        assert fast.stats.delays == [pytest.approx(0.01)]
+
+    def test_explicit_deadline_overrides_bound(self, context, params):
+        rms = LoopbackRms(context, params)
+        message = rms.send(b"x", deadline=context.now + 0.042)
+        assert message.deadline == pytest.approx(0.042)
+
+    def test_drop_accounting(self, context, params):
+        rms = LoopbackRms(context, params)
+        message = rms.send(b"x" * 100)
+        rms._drop(message, "test")
+        assert rms.stats.messages_dropped == 1
+        assert rms.stats.loss_rate == pytest.approx(1.0)
+        assert rms.outstanding_bytes == 0
+
+    def test_levels_enumeration(self):
+        assert RmsLevel.NETWORK < RmsLevel.SUBTRANSPORT < RmsLevel.SUBUSER < RmsLevel.USER
+
+
+class TestAccounting:
+    def test_creator_owns_and_pays(self, context, params):
+        """Section 2.4 ownership + section 5 charging model."""
+        ledger = AccountingLedger()
+        rms = LoopbackRms(context, params)
+        ledger.open_rms("alice", rms)
+        rms.send(b"x" * 1000)
+        context.run(until=10.0)
+        rms.delete()
+        entry = ledger.close_rms(rms)
+        assert entry.owner == "alice"
+        assert entry.setup_cost > 0
+        assert entry.bytes_charge == pytest.approx(1000 * ledger.tariff.per_byte)
+        assert entry.time_charge > 0
+        assert ledger.owner_total("alice") == pytest.approx(entry.total)
+
+    def test_stronger_guarantees_cost_more(self, context):
+        tariff = Tariff()
+        deterministic = RmsParams(
+            capacity=10_000,
+            max_message_size=1_000,
+            delay_bound=DelayBound(0.1),
+            delay_bound_type=DelayBoundType.DETERMINISTIC,
+        )
+        best_effort = deterministic.with_(
+            delay_bound_type=DelayBoundType.BEST_EFFORT
+        )
+        assert tariff.parameter_rate(deterministic) > tariff.parameter_rate(
+            best_effort
+        )
+
+    def test_unknown_rms_close_raises(self, context, params):
+        ledger = AccountingLedger()
+        rms = LoopbackRms(context, params)
+        with pytest.raises(KeyError):
+            ledger.close_rms(rms)
+
+    def test_grand_total_sums_entries(self, context, params):
+        ledger = AccountingLedger()
+        first = LoopbackRms(context, params)
+        second = LoopbackRms(context, params)
+        ledger.open_rms("alice", first)
+        ledger.open_rms("bob", second)
+        assert ledger.grand_total == pytest.approx(2 * ledger.tariff.setup_cost)

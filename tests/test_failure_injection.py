@@ -1,0 +1,229 @@
+"""Failure injection: links dying, hosts saturating, networks flapping.
+
+Basic RMS property 3 -- "clients are notified of an RMS failure" -- must
+hold through every layer, and the system must stay consistent (no
+crashes, no stuck state) under mid-operation failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.dash.system import DashSystem
+from repro.errors import RmsFailedError
+from repro.transport.stream import StreamConfig
+
+
+def lan_system(seed=51, **kwargs):
+    system = DashSystem(seed=seed)
+    system.add_ethernet(trusted=True, **kwargs)
+    system.add_node("a")
+    system.add_node("b")
+    return system
+
+
+def wan_system(seed=52):
+    system = DashSystem(seed=seed)
+    internet = system.add_internet(trusted=True)
+    system.add_node("a")
+    system.add_node("b")
+    internet.add_router("g1")
+    internet.add_router("g2")
+    internet.add_link("a", "g1", bandwidth=1e5, propagation_delay=0.002)
+    internet.add_link("g1", "g2", bandwidth=5e4, propagation_delay=0.01)
+    internet.add_link("g2", "b", bandwidth=1e5, propagation_delay=0.002)
+    return system, internet
+
+
+def open_rms(system, port="fail", params=None):
+    params = params or RmsParams(
+        capacity=16 * 1024,
+        max_message_size=1400,
+        delay_bound=DelayBound(0.2, 1e-4),
+        delay_bound_type=DelayBoundType.BEST_EFFORT,
+    )
+    future = system.nodes["a"].st.create_st_rms(
+        "b", port=port, desired=params, acceptable=params
+    )
+    system.run(until=system.now + 3.0)
+    return future.result()
+
+
+class TestFailurePropagation:
+    def test_notification_reaches_every_layer(self):
+        """Network RMS -> ST RMS -> client, one failure event each."""
+        system = lan_system()
+        rms = open_rms(system)
+        st_notified = []
+        net_notified = []
+        rms.on_failure.listen(lambda r, reason: st_notified.append(reason))
+        rms.binding.network_rms.on_failure.listen(
+            lambda r, reason: net_notified.append(reason)
+        )
+        system.networks["ether0"].segment.set_down()
+        system.run(until=system.now + 1.0)
+        assert len(net_notified) == 1
+        assert len(st_notified) == 1
+
+    def test_send_after_network_death_raises(self):
+        system = lan_system()
+        rms = open_rms(system)
+        system.networks["ether0"].segment.set_down()
+        system.run(until=system.now + 1.0)
+        with pytest.raises(RmsFailedError):
+            rms.send(b"too late")
+
+    def test_messages_in_flight_at_failure_are_dropped_not_delivered(self):
+        system = lan_system()
+        rms = open_rms(system)
+        got = []
+        rms.port.set_handler(got.append)
+        for index in range(10):
+            rms.send(bytes([index]) * 1000)
+        # Kill the segment immediately: everything still queued dies.
+        system.networks["ether0"].segment.set_down()
+        system.run(until=system.now + 2.0)
+        assert got == []
+
+    def test_wan_link_failure_fails_only_crossing_streams(self):
+        system, internet = wan_system()
+        internet.attach_extra = None
+        rms = open_rms(system)
+        reasons = []
+        rms.on_failure.listen(lambda r, reason: reasons.append(reason))
+        internet.link("g1", "g2").set_down()
+        system.run(until=system.now + 1.0)
+        assert reasons  # the stream crossed the dead trunk
+
+    def test_new_stream_after_reroute(self):
+        """After a link dies, new streams take the surviving path."""
+        system, internet = wan_system()
+        internet.add_link("g1", "b", bandwidth=1e5, propagation_delay=0.5)
+        first = open_rms(system, port="one")
+        internet.link("g1", "g2").set_down()
+        system.run(until=system.now + 1.0)
+        assert not first.is_open
+        second = open_rms(system, port="two")
+        got = []
+        second.port.set_handler(got.append)
+        second.send(b"via backup path")
+        system.run(until=system.now + 3.0)
+        assert len(got) == 1
+        assert second.binding.network_rms.route == ["a", "g1", "b"]
+
+    def test_link_recovery_allows_fresh_streams(self):
+        system, internet = wan_system()
+        rms = open_rms(system, port="one")
+        internet.link("g1", "g2").set_down()
+        system.run(until=system.now + 1.0)
+        internet.link("g1", "g2").set_up()
+        internet._route_cache.clear()
+        replacement = open_rms(system, port="two")
+        got = []
+        replacement.port.set_handler(got.append)
+        replacement.send(b"back in business")
+        system.run(until=system.now + 3.0)
+        assert len(got) == 1
+
+
+class TestStreamFailureRecovery:
+    def test_stream_reports_failure_and_rejects_sends(self):
+        system = lan_system()
+        future = system.open_stream("a", "b", StreamConfig())
+        system.run(until=system.now + 2.0)
+        session = future.result()
+        session.send(b"x" * 500)
+        system.networks["ether0"].segment.set_down()
+        system.run(until=system.now + 1.0)
+        assert session.failed is not None
+        from repro.errors import TransportError
+
+        with pytest.raises(TransportError):
+            session.send(b"more")
+
+    def test_retransmit_timer_stops_after_failure(self):
+        system = lan_system()
+        future = system.open_stream(
+            "a", "b", StreamConfig(retransmit_timeout=0.1, max_retransmits=3)
+        )
+        system.run(until=system.now + 2.0)
+        session = future.result()
+        session.send(b"x" * 500)
+        system.networks["ether0"].segment.set_down()
+        system.run(until=system.now + 5.0)
+        events_after = system.context.loop.pending_events
+        system.run(until=system.now + 5.0)
+        # No runaway timer: the loop settles once the failure lands.
+        assert system.context.loop.pending_events <= events_after
+
+    def test_reliable_stream_gives_up_on_black_hole(self):
+        system = lan_system()
+        future = system.open_stream(
+            "a", "b", StreamConfig(retransmit_timeout=0.1, max_retransmits=3)
+        )
+        system.run(until=system.now + 2.0)
+        session = future.result()
+        system.networks["ether0"].segment.impairment.frame_loss_rate = 1.0
+        session.send(b"into the void" + b"\x00" * 100)
+        system.run(until=system.now + 20.0)
+        assert session.failed == "retransmission limit exceeded"
+
+
+class TestCpuSaturation:
+    def test_overloaded_cpu_reports_deadline_misses(self):
+        system = lan_system()
+        cpu = system.nodes["a"].cpu
+        # Saturate the CPU with heavy synthetic protocol work.
+        for index in range(50):
+            cpu.submit(f"x/heavy{index}", 0.01, deadline=system.now + 0.05,
+                       callback=lambda: None)
+        system.run(until=system.now + 2.0)
+        assert cpu.deadline_misses > 0
+        assert cpu.items_run == 50
+
+    def test_st_traffic_still_flows_on_busy_cpu(self):
+        system = lan_system()
+        rms = open_rms(system)
+        got = []
+        rms.port.set_handler(got.append)
+        cpu = system.nodes["a"].cpu
+
+        def hog():
+            while True:
+                cpu.submit("hog/work", 0.002, deadline=system.now + 10.0,
+                           callback=lambda: None)
+                yield 0.002
+
+        hog_process = system.context.spawn(hog())
+        for index in range(10):
+            rms.send(bytes([index]) * 500)
+        system.run(until=system.now + 5.0)
+        hog_process.stop()
+        # EDF lets the tighter-deadline ST stages through the hog's work.
+        assert len(got) == 10
+
+
+class TestControlPlaneResilience:
+    def test_st_creation_fails_cleanly_when_network_is_dead(self):
+        system = lan_system()
+        system.networks["ether0"].segment.set_down()
+        params = RmsParams(capacity=8192, max_message_size=1400)
+        future = system.nodes["a"].st.create_st_rms(
+            "b", port="dead", desired=params, acceptable=params
+        )
+        system.run(until=system.now + 60.0)
+        assert future.done and future.failed  # failed, not hung
+
+    def test_rkom_call_times_out_cleanly_on_dead_network(self):
+        system = lan_system()
+        system.nodes["b"].rkom.register_handler("echo", lambda p, s: p)
+        warm = system.nodes["a"].call(system.nodes["b"], "echo", b"x")
+        system.run(until=system.now + 2.0)
+        assert not warm.failed
+        system.networks["ether0"].segment.impairment.frame_loss_rate = 1.0
+        doomed = system.nodes["a"].call(
+            system.nodes["b"], "echo", b"y", timeout=0.05
+        )
+        system.run(until=system.now + 30.0)
+        assert doomed.done and doomed.failed

@@ -1,0 +1,273 @@
+"""Tests for links, impairments, and admission control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.message import Message
+from repro.core.params import DelayBound, DelayBoundType, RmsParams, StatisticalSpec
+from repro.errors import AdmissionError, NetworkError, ParameterError
+from repro.netsim.admission import AdmissionController
+from repro.netsim.errors_model import ImpairmentModel
+from repro.netsim.packet import FRAME_OVERHEAD_BYTES, Frame
+from repro.netsim.topology import Host, Link
+from repro.sim.context import SimContext
+
+
+def make_frame(size=100, deadline=1.0):
+    return Frame(
+        message=Message(b"x" * size),
+        src_host="a",
+        dst_host="b",
+        rms_id=1,
+        deadline=deadline,
+    )
+
+
+class TestFrame:
+    def test_size_includes_overhead(self):
+        frame = make_frame(size=100)
+        assert frame.size == 100 + FRAME_OVERHEAD_BYTES
+
+    def test_corrupt_payload_flips_one_bit(self):
+        frame = make_frame(size=10)
+        original = frame.message.payload
+        frame.corrupt_payload(13)
+        assert frame.corrupted
+        diffs = [
+            index
+            for index, (a, b) in enumerate(zip(original, frame.message.payload))
+            if a != b
+        ]
+        assert len(diffs) == 1
+
+    def test_corrupt_empty_payload_sets_flag(self):
+        frame = Frame(message=Message(b""), src_host="a", dst_host="b", rms_id=1)
+        frame.corrupt_payload(0)
+        assert frame.corrupted
+
+
+class TestImpairmentModel:
+    def test_clean_model(self):
+        model = ImpairmentModel()
+        assert model.is_clean
+        assert model.corruption_probability(1000) == 0.0
+
+    def test_corruption_probability_grows_with_size(self):
+        model = ImpairmentModel(bit_error_rate=1e-6)
+        assert model.corruption_probability(10_000) > model.corruption_probability(100)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            ImpairmentModel(bit_error_rate=2.0)
+        with pytest.raises(ParameterError):
+            ImpairmentModel(frame_loss_rate=-0.1)
+
+    def test_loss_sampling_statistics(self):
+        context = SimContext(seed=11)
+        model = ImpairmentModel(frame_loss_rate=0.3)
+        rng = context.rng.stream("test")
+        losses = sum(model.loses_frame(rng) for _ in range(5000))
+        assert 0.25 < losses / 5000 < 0.35
+
+    def test_corruption_actually_corrupts(self):
+        context = SimContext(seed=11)
+        model = ImpairmentModel(bit_error_rate=1e-3)
+        rng = context.rng.stream("test")
+        frame = make_frame(size=1000)
+        original = frame.message.payload
+        corrupted = model.maybe_corrupt(frame, rng)
+        assert corrupted  # at 1e-3 ber over 8000+ bits, near certain
+        assert frame.message.payload != original
+
+
+class TestLink:
+    def test_transmission_and_propagation_delay(self):
+        context = SimContext()
+        link = Link(context, "l", bandwidth=1e6, propagation_delay=0.01)
+        arrivals = []
+        frame = make_frame(size=1000 - FRAME_OVERHEAD_BYTES)
+        link.transmit(frame, deliver=lambda f: arrivals.append(context.now))
+        context.run()
+        assert arrivals[0] == pytest.approx(1000 / 1e6 + 0.01)
+
+    def test_serialization_queues_frames(self):
+        context = SimContext()
+        link = Link(context, "l", bandwidth=1e3, propagation_delay=0.0)
+        arrivals = []
+        for _ in range(3):
+            link.transmit(make_frame(size=100 - FRAME_OVERHEAD_BYTES),
+                          deliver=lambda f: arrivals.append(context.now))
+        context.run()
+        assert arrivals == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.3)]
+
+    def test_edf_queue_reorders_by_deadline(self):
+        context = SimContext()
+        link = Link(context, "l", bandwidth=1e4, propagation_delay=0.0, policy="edf")
+        order = []
+        # First frame occupies the link; the next two queue and reorder.
+        link.transmit(make_frame(deadline=0.0), deliver=lambda f: order.append("busy"))
+        link.transmit(make_frame(deadline=9.0), deliver=lambda f: order.append("late"))
+        link.transmit(make_frame(deadline=1.0), deliver=lambda f: order.append("early"))
+        context.run()
+        assert order == ["busy", "early", "late"]
+
+    def test_fifo_queue_keeps_arrival_order(self):
+        context = SimContext()
+        link = Link(context, "l", bandwidth=1e4, propagation_delay=0.0, policy="fifo")
+        order = []
+        link.transmit(make_frame(deadline=0.0), deliver=lambda f: order.append(0))
+        link.transmit(make_frame(deadline=9.0), deliver=lambda f: order.append(1))
+        link.transmit(make_frame(deadline=1.0), deliver=lambda f: order.append(2))
+        context.run()
+        assert order == [0, 1, 2]
+
+    def test_buffer_overrun_drops(self):
+        context = SimContext()
+        link = Link(context, "l", bandwidth=1e3, propagation_delay=0.0,
+                    buffer_bytes=300)
+        drops = []
+        for _ in range(5):
+            link.transmit(
+                make_frame(size=100 - FRAME_OVERHEAD_BYTES),
+                deliver=lambda f: None,
+                on_drop=lambda f, reason: drops.append(reason),
+            )
+        assert link.stats.frames_dropped_overrun == len(drops) > 0
+        context.run()
+
+    def test_overrun_hook_invoked(self):
+        context = SimContext()
+        link = Link(context, "l", bandwidth=1e3, propagation_delay=0.0,
+                    buffer_bytes=150)
+        quenched = []
+        link.on_overrun = quenched.append
+        link.transmit(make_frame(), deliver=lambda f: None)
+        link.transmit(make_frame(), deliver=lambda f: None)
+        assert len(quenched) == 1
+
+    def test_link_down_discards_and_notifies(self):
+        context = SimContext()
+        link = Link(context, "l", bandwidth=1e3, propagation_delay=0.0)
+        down = []
+        drops = []
+        link.on_down.listen(lambda l: down.append(l))
+        link.transmit(make_frame(), deliver=lambda f: None,
+                      on_drop=lambda f, r: drops.append(r))
+        link.transmit(make_frame(), deliver=lambda f: None,
+                      on_drop=lambda f, r: drops.append(r))
+        link.set_down()
+        assert down == [link]
+        assert not link.transmit(make_frame(), deliver=lambda f: None,
+                                 on_drop=lambda f, r: drops.append(r))
+        context.run()
+        assert len(drops) >= 2
+
+    def test_invalid_parameters_rejected(self):
+        context = SimContext()
+        with pytest.raises(NetworkError):
+            Link(context, "l", bandwidth=0, propagation_delay=0.0)
+        with pytest.raises(NetworkError):
+            Link(context, "l", bandwidth=1.0, propagation_delay=-1.0)
+
+
+class TestHost:
+    def test_bind_port_idempotent(self):
+        context = SimContext()
+        host = Host(context, "h")
+        assert host.bind_port("p") is host.bind_port("p")
+
+    def test_cpu_policy_configurable(self):
+        context = SimContext()
+        host = Host(context, "h", cpu_policy="fifo")
+        assert host.cpu.policy == "fifo"
+
+
+class TestAdmissionController:
+    def deterministic_params(self, capacity=10_000, delay=0.1):
+        return RmsParams(
+            capacity=capacity,
+            max_message_size=1000,
+            delay_bound=DelayBound(delay, 0.0),
+            delay_bound_type=DelayBoundType.DETERMINISTIC,
+        )
+
+    def statistical_params(self, load=10_000.0):
+        return RmsParams(
+            capacity=10_000,
+            max_message_size=1000,
+            delay_bound=DelayBound(0.1, 0.0),
+            delay_bound_type=DelayBoundType.STATISTICAL,
+            statistical=StatisticalSpec(average_load=load, burstiness=2.0),
+        )
+
+    def best_effort_params(self):
+        return RmsParams(capacity=10_000, max_message_size=1000)
+
+    def test_best_effort_never_rejected(self):
+        """Section 2.3: best-effort creation requests are never rejected."""
+        pool = AdmissionController(total_bandwidth=1.0, total_buffer_bytes=1)
+        for rms_id in range(100):
+            pool.admit(rms_id, self.best_effort_params())
+        assert pool.admitted == 100
+
+    def test_deterministic_reserves_and_rejects(self):
+        # implied bandwidth 10000/0.1 = 100 kB/s, x1.5 phasing guard.
+        pool = AdmissionController(total_bandwidth=350_000, total_buffer_bytes=10**6)
+        pool.admit(1, self.deterministic_params())
+        pool.admit(2, self.deterministic_params())
+        with pytest.raises(AdmissionError):
+            pool.admit(3, self.deterministic_params())
+        assert pool.rejected == 1
+
+    def test_deterministic_buffer_limit(self):
+        pool = AdmissionController(total_bandwidth=1e9, total_buffer_bytes=15_000)
+        pool.admit(1, self.deterministic_params())
+        with pytest.raises(AdmissionError):
+            pool.admit(2, self.deterministic_params())
+
+    def test_release_frees_resources(self):
+        pool = AdmissionController(total_bandwidth=200_000, total_buffer_bytes=10**6)
+        pool.admit(1, self.deterministic_params())
+        with pytest.raises(AdmissionError):
+            pool.admit(2, self.deterministic_params())
+        pool.release(1)
+        pool.admit(2, self.deterministic_params())
+
+    def test_release_unknown_is_idempotent(self):
+        pool = AdmissionController(total_bandwidth=1.0, total_buffer_bytes=1)
+        pool.release(42)
+
+    def test_statistical_admits_more_than_deterministic(self):
+        """Effective bandwidth sits between average and peak, so more
+        statistical streams fit the same pool than deterministic ones."""
+        bandwidth = 200_000.0
+        det_pool = AdmissionController(bandwidth, 10**7)
+        stat_pool = AdmissionController(bandwidth, 10**7)
+        det_count = 0
+        while True:
+            try:
+                det_pool.admit(det_count, self.deterministic_params())
+                det_count += 1
+            except AdmissionError:
+                break
+        stat_count = 0
+        while True:
+            try:
+                stat_pool.admit(stat_count, self.statistical_params())
+                stat_count += 1
+            except AdmissionError:
+                break
+        assert stat_count > det_count
+
+    def test_duplicate_admission_rejected(self):
+        pool = AdmissionController(total_bandwidth=1e6, total_buffer_bytes=10**6)
+        pool.admit(1, self.best_effort_params())
+        with pytest.raises(AdmissionError):
+            pool.admit(1, self.best_effort_params())
+
+    def test_statistical_needs_spec(self):
+        pool = AdmissionController(total_bandwidth=1e6, total_buffer_bytes=10**6)
+        broken = self.deterministic_params()
+        with pytest.raises(ParameterError):
+            pool.statistical_demand(broken)

@@ -1,0 +1,215 @@
+"""Unit tests for the discrete-event loop (repro.sim.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import EventLoop, Signal
+
+
+class TestEventLoop:
+    def test_starts_at_time_zero(self):
+        loop = EventLoop()
+        assert loop.now == 0.0
+
+    def test_custom_start_time(self):
+        loop = EventLoop(start_time=10.0)
+        assert loop.now == 10.0
+
+    def test_call_after_advances_clock(self):
+        loop = EventLoop()
+        times = []
+        loop.call_after(1.5, lambda: times.append(loop.now))
+        loop.run()
+        assert times == [1.5]
+        assert loop.now == 1.5
+
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.call_after(3.0, lambda: order.append("c"))
+        loop.call_after(1.0, lambda: order.append("a"))
+        loop.call_after(2.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_fifo(self):
+        loop = EventLoop()
+        order = []
+        for tag in range(10):
+            loop.call_at(1.0, order.append, tag)
+        loop.run()
+        assert order == list(range(10))
+
+    def test_call_soon_runs_at_current_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_soon(lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [0.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        loop = EventLoop()
+        loop.call_after(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(SchedulingError):
+            loop.call_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        loop = EventLoop()
+        with pytest.raises(SchedulingError):
+            loop.call_after(-1.0, lambda: None)
+
+    def test_cancelled_event_does_not_run(self):
+        loop = EventLoop()
+        ran = []
+        handle = loop.call_after(1.0, lambda: ran.append(1))
+        handle.cancel()
+        loop.run()
+        assert ran == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        loop = EventLoop()
+        handle = loop.call_after(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        ran = []
+        loop.call_after(1.0, lambda: ran.append("early"))
+        loop.call_after(5.0, lambda: ran.append("late"))
+        end = loop.run(until=2.0)
+        assert ran == ["early"]
+        assert end == 2.0
+        assert loop.now == 2.0
+        loop.run()
+        assert ran == ["early", "late"]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        loop = EventLoop()
+        loop.run(until=7.0)
+        assert loop.now == 7.0
+
+    def test_events_scheduled_during_run_execute(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            loop.call_after(1.0, lambda: seen.append("second"))
+
+        loop.call_after(1.0, first)
+        loop.run()
+        assert seen == ["second"]
+        assert loop.now == 2.0
+
+    def test_max_events_limits_execution(self):
+        loop = EventLoop()
+        count = []
+
+        def recurring():
+            count.append(1)
+            loop.call_after(1.0, recurring)
+
+        loop.call_after(1.0, recurring)
+        loop.run(max_events=5)
+        assert len(count) == 5
+
+    def test_run_until_idle_raises_on_runaway(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.call_after(1.0, forever)
+
+        loop.call_after(1.0, forever)
+        with pytest.raises(SchedulingError):
+            loop.run_until_idle(max_events=100)
+
+    def test_pending_events_counts_uncancelled(self):
+        loop = EventLoop()
+        loop.call_after(1.0, lambda: None)
+        handle = loop.call_after(2.0, lambda: None)
+        handle.cancel()
+        assert loop.pending_events == 1
+
+    def test_events_run_counter(self):
+        loop = EventLoop()
+        for _ in range(4):
+            loop.call_after(1.0, lambda: None)
+        loop.run()
+        assert loop.events_run == 4
+
+    def test_reentrant_run_rejected(self):
+        loop = EventLoop()
+        errors = []
+
+        def reenter():
+            try:
+                loop.run()
+            except SchedulingError as error:
+                errors.append(error)
+
+        loop.call_after(1.0, reenter)
+        loop.run()
+        assert len(errors) == 1
+
+    def test_callback_args_passed_through(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_after(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+        loop.run()
+        assert seen == [(1, "x")]
+
+
+class TestSignal:
+    def test_fire_notifies_all_listeners(self):
+        loop = EventLoop()
+        signal = Signal(loop)
+        seen = []
+        signal.listen(lambda value: seen.append(("first", value)))
+        signal.listen(lambda value: seen.append(("second", value)))
+        signal.fire(42)
+        assert seen == [("first", 42), ("second", 42)]
+
+    def test_unsubscribe(self):
+        loop = EventLoop()
+        signal = Signal(loop)
+        seen = []
+        unsubscribe = signal.listen(seen.append)
+        unsubscribe()
+        signal.fire(1)
+        assert seen == []
+
+    def test_unsubscribe_twice_is_harmless(self):
+        loop = EventLoop()
+        signal = Signal(loop)
+        unsubscribe = signal.listen(lambda: None)
+        unsubscribe()
+        unsubscribe()
+
+    def test_fire_count(self):
+        loop = EventLoop()
+        signal = Signal(loop)
+        signal.fire()
+        signal.fire()
+        assert signal.fire_count == 2
+
+    def test_fire_soon_defers_to_loop(self):
+        loop = EventLoop()
+        signal = Signal(loop)
+        seen = []
+        signal.listen(seen.append)
+        signal.fire_soon(9)
+        assert seen == []
+        loop.run()
+        assert seen == [9]
+
+    def test_listener_count(self):
+        loop = EventLoop()
+        signal = Signal(loop)
+        signal.listen(lambda: None)
+        signal.listen(lambda: None)
+        assert len(signal) == 2

@@ -1,0 +1,142 @@
+"""Tests for RNG streams, tracing, and the simulation context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.context import SimContext
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import NullTracer, Tracer
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        first = RandomStreams(42).stream("x")
+        second = RandomStreams(42).stream("x")
+        assert [first.random() for _ in range(5)] == [
+            second.random() for _ in range(5)
+        ]
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(42)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_adding_streams_does_not_perturb_existing(self):
+        """The draw sequence of one stream is independent of how many
+        other streams exist -- crucial for experiment comparability."""
+        solo = RandomStreams(7)
+        seq_solo = [solo.stream("target").random() for _ in range(5)]
+        crowded = RandomStreams(7)
+        for name in ("a", "b", "c"):
+            crowded.stream(name).random()
+        seq_crowded = [crowded.stream("target").random() for _ in range(5)]
+        assert seq_solo == seq_crowded
+
+    def test_spawn_children_independent(self):
+        parent = RandomStreams(5)
+        child_a = parent.spawn("one")
+        child_b = parent.spawn("two")
+        assert child_a.master_seed != child_b.master_seed
+        assert child_a.stream("x").random() != child_b.stream("x").random()
+
+    def test_different_seeds_differ(self):
+        assert RandomStreams(1).stream("x").random() != RandomStreams(
+            2
+        ).stream("x").random()
+
+
+class TestTracer:
+    def test_records_with_time(self):
+        context = SimContext(trace=True)
+        context.loop.call_after(1.5, lambda: context.tracer.record(
+            "cat", "evt", key="value"))
+        context.run()
+        assert context.tracer.count("cat", "evt") == 1
+        record = next(context.tracer.select("cat"))
+        assert record.time == pytest.approx(1.5)
+        assert record.fields == {"key": "value"}
+
+    def test_category_filter(self):
+        context = SimContext(trace=True, trace_categories={"keep"})
+        context.tracer.record("keep", "a")
+        context.tracer.record("drop", "b")
+        assert context.tracer.count() == 1
+
+    def test_select_by_event(self):
+        context = SimContext(trace=True)
+        context.tracer.record("c", "one")
+        context.tracer.record("c", "two")
+        assert context.tracer.count(event="one") == 1
+
+    def test_max_records_drops_overflow(self):
+        context = SimContext()
+        tracer = Tracer(context.loop, max_records=2)
+        for index in range(5):
+            tracer.record("c", "e", i=index)
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+
+    def test_clear(self):
+        context = SimContext(trace=True)
+        context.tracer.record("c", "e")
+        context.tracer.clear()
+        assert context.tracer.count() == 0
+
+    def test_dump_renders_lines(self):
+        context = SimContext(trace=True)
+        context.tracer.record("cat", "evt", n=3)
+        assert "cat.evt" in context.tracer.dump()
+        assert "n=3" in context.tracer.dump()
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        tracer.record("c", "e", x=1)
+        assert tracer.count() == 0
+        assert list(tracer.select()) == []
+        assert tracer.dump() == ""
+        assert not tracer.enabled
+
+
+class TestSimContext:
+    def test_default_is_null_tracer(self):
+        context = SimContext()
+        assert isinstance(context.tracer, NullTracer)
+
+    def test_trace_enables_tracer(self):
+        context = SimContext(trace=True)
+        assert isinstance(context.tracer, Tracer)
+
+    def test_now_tracks_loop(self):
+        context = SimContext()
+        context.loop.call_after(3.0, lambda: None)
+        context.run()
+        assert context.now == 3.0
+
+    def test_spawn_names_process(self):
+        context = SimContext()
+
+        def worker():
+            yield 1.0
+
+        process = context.spawn(worker(), name="my-worker")
+        assert process.name == "my-worker"
+        context.run()
+
+    def test_run_until_idle(self):
+        context = SimContext()
+        context.loop.call_after(1.0, lambda: None)
+        assert context.run_until_idle() == 1.0
+
+    def test_signal_factory(self):
+        context = SimContext()
+        signal = context.signal()
+        seen = []
+        signal.listen(seen.append)
+        signal.fire(1)
+        assert seen == [1]

@@ -1,0 +1,134 @@
+"""Tests for multiplexing rules (4.2) and security planning (2.5/3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import DelayBound, DelayBoundType, RmsParams, StatisticalSpec
+from repro.netsim.ethernet import EthernetNetwork
+from repro.sim.context import SimContext
+from repro.subtransport.mux import mux_violation
+from repro.subtransport.security import plan_security
+
+
+def st_params(**kwargs):
+    defaults = dict(
+        capacity=10_000,
+        max_message_size=1000,
+        delay_bound=DelayBound(0.1, 1e-5),
+        delay_bound_type=DelayBoundType.BEST_EFFORT,
+    )
+    defaults.update(kwargs)
+    return RmsParams(**defaults)
+
+
+def net_params(**kwargs):
+    defaults = dict(
+        capacity=50_000,
+        max_message_size=1500,
+        delay_bound=DelayBound(0.02, 1e-6),
+        delay_bound_type=DelayBoundType.BEST_EFFORT,
+    )
+    defaults.update(kwargs)
+    return RmsParams(**defaults)
+
+
+class TestMuxRules:
+    def test_legal_multiplexing_passes(self):
+        assert mux_violation(st_params(), net_params(), existing_capacity=0) is None
+
+    def test_rule_type_deterministic_needs_guaranteed_network(self):
+        """Rule 1: det/stat ST RMS not onto best-effort network RMS."""
+        deterministic = st_params(
+            delay_bound_type=DelayBoundType.DETERMINISTIC
+        )
+        violation = mux_violation(deterministic, net_params(), 0)
+        assert violation is not None and "best-effort" in violation
+
+    def test_rule_type_satisfied_by_deterministic_network(self):
+        deterministic_st = st_params(delay_bound_type=DelayBoundType.DETERMINISTIC)
+        deterministic_net = net_params(delay_bound_type=DelayBoundType.DETERMINISTIC)
+        assert mux_violation(deterministic_st, deterministic_net, 0) is None
+
+    def test_rule_delay_st_must_cover_network(self):
+        """Rule 2: ST delay bound at least the network's."""
+        tight_st = st_params(delay_bound=DelayBound(0.01, 1e-6))
+        slow_net = net_params(delay_bound=DelayBound(0.05, 1e-6))
+        violation = mux_violation(tight_st, slow_net, 0)
+        assert violation is not None and "delay" in violation
+
+    def test_rule_capacity_sum(self):
+        """Rule 3: sum of ST capacities within network capacity."""
+        assert mux_violation(st_params(), net_params(), existing_capacity=45_000)
+
+    def test_capacity_sum_at_boundary_passes(self):
+        assert mux_violation(st_params(), net_params(), existing_capacity=40_000) is None
+
+    def test_statistical_load_aggregation(self):
+        stat_st = st_params(
+            delay_bound_type=DelayBoundType.STATISTICAL,
+            statistical=StatisticalSpec(average_load=600.0),
+        )
+        stat_net = net_params(
+            delay_bound_type=DelayBoundType.STATISTICAL,
+            statistical=StatisticalSpec(average_load=1000.0),
+        )
+        assert mux_violation(stat_st, stat_net, 0, existing_load=0.0) is None
+        assert mux_violation(stat_st, stat_net, 0, existing_load=500.0) is not None
+
+    def test_mms_may_exceed_network(self):
+        """Rule 4: larger ST MMS is legal (fragmentation handles it)."""
+        big = st_params(max_message_size=8000)
+        assert mux_violation(big, net_params(), 0) is None
+
+    def test_unbounded_st_always_covers_delay(self):
+        unbounded = st_params(delay_bound=DelayBound.unbounded())
+        assert mux_violation(unbounded, net_params(), 0) is None
+
+
+class TestSecurityPlanning:
+    def make_network(self, **kwargs):
+        context = SimContext()
+        return EthernetNetwork(context, **kwargs)
+
+    def test_trusted_network_elides_everything(self):
+        """Section 2.5 case 3: the network is considered secure."""
+        network = self.make_network(trusted=True)
+        plan = plan_security(st_params(privacy=True, authentication=True), network)
+        assert not plan.encrypt and not plan.mac
+        assert plan.network_privacy and plan.network_authentication
+
+    def test_link_encryption_elides_software_crypto(self):
+        """Section 2.5 case 2: link-level encryption hardware."""
+        network = self.make_network(trusted=False, link_encryption=True)
+        plan = plan_security(st_params(privacy=True), network)
+        assert not plan.encrypt
+        assert plan.network_privacy
+
+    def test_untrusted_network_needs_software_crypto(self):
+        """Section 2.5 case 1: encryption in the subtransport layer."""
+        network = self.make_network(trusted=False)
+        plan = plan_security(st_params(privacy=True, authentication=True), network)
+        assert plan.encrypt and plan.mac
+        assert not plan.network_privacy
+
+    def test_no_privacy_request_no_mechanism(self):
+        """'If a client does not require privacy, no mechanism is used.'"""
+        network = self.make_network(trusted=False)
+        plan = plan_security(st_params(), network)
+        assert not plan.any_software_mechanism
+
+    def test_hardware_checksum_elides_software_checksum(self):
+        network = self.make_network(link_checksum=True, bit_error_rate=1e-6)
+        plan = plan_security(st_params(), network)
+        assert not plan.checksum
+
+    def test_software_checksum_on_raw_noisy_network(self):
+        network = self.make_network(link_checksum=False, bit_error_rate=1e-6)
+        plan = plan_security(st_params(), network)
+        assert plan.checksum
+
+    def test_clean_network_without_checksum_needs_none(self):
+        network = self.make_network(link_checksum=False, bit_error_rate=0.0)
+        plan = plan_security(st_params(), network)
+        assert not plan.checksum

@@ -1,0 +1,180 @@
+"""Tests for the flow-control mechanisms of section 4.4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.errors import ParameterError
+from repro.sim.context import SimContext
+from repro.transport.flowcontrol import (
+    FlowControlMode,
+    RateBasedEnforcer,
+    ReceiverCredit,
+    WindowEnforcer,
+)
+
+
+def enforced_params(capacity=1000, delay=0.1):
+    return RmsParams(
+        capacity=capacity,
+        max_message_size=min(500, capacity),
+        delay_bound=DelayBound(delay, 0.0),
+        delay_bound_type=DelayBoundType.BEST_EFFORT,
+    )
+
+
+class TestFlowControlMode:
+    def test_capacity_flags(self):
+        assert FlowControlMode.CAPACITY_ONLY.enforces_capacity
+        assert FlowControlMode.END_TO_END.enforces_capacity
+        assert not FlowControlMode.NONE.enforces_capacity
+        assert not FlowControlMode.RECEIVER_ONLY.enforces_capacity
+
+    def test_receiver_flags(self):
+        assert FlowControlMode.RECEIVER_ONLY.has_receiver_fc
+        assert FlowControlMode.END_TO_END.has_receiver_fc
+        assert not FlowControlMode.CAPACITY_ONLY.has_receiver_fc
+
+    def test_sender_flags(self):
+        assert FlowControlMode.END_TO_END.has_sender_fc
+        assert not FlowControlMode.CAPACITY_AND_RECEIVER.has_sender_fc
+
+
+class TestRateBasedEnforcer:
+    def test_burst_up_to_capacity_is_immediate(self):
+        context = SimContext()
+        enforcer = RateBasedEnforcer(context, enforced_params(capacity=1000))
+        sent = []
+        enforcer.request(600, lambda: sent.append(context.now))
+        enforcer.request(400, lambda: sent.append(context.now))
+        assert sent == [0.0, 0.0]
+
+    def test_excess_waits_for_window_to_clear(self):
+        context = SimContext()
+        enforcer = RateBasedEnforcer(context, enforced_params(capacity=1000, delay=0.1))
+        sent = []
+        enforcer.request(1000, lambda: sent.append(context.now))
+        enforcer.request(500, lambda: sent.append(context.now))
+        context.run()
+        assert sent[0] == 0.0
+        # The window is A + C*B = 0.1 s; the 500 B send must wait until
+        # the opening 1000 B burst ages out of the sliding window.
+        assert sent[1] == pytest.approx(0.1, abs=1e-6)
+        assert enforcer.sends_delayed == 1
+
+    def test_window_rule_never_exceeded(self):
+        """No window of duration A + C*B carries more than C bytes."""
+        context = SimContext()
+        params = enforced_params(capacity=1000, delay=0.1)
+        enforcer = RateBasedEnforcer(context, params)
+        events = []
+        for _ in range(20):
+            enforcer.request(250, lambda: events.append((context.now, 250)))
+        context.run()
+        window = params.delay_bound.a + params.capacity * params.delay_bound.b
+        for start_index in range(len(events)):
+            start_time = events[start_index][0]
+            in_window = sum(
+                size
+                for time, size in events
+                if start_time <= time < start_time + window
+            )
+            assert in_window <= params.capacity + 1e-9
+
+    def test_oversized_request_rejected(self):
+        context = SimContext()
+        enforcer = RateBasedEnforcer(context, enforced_params(capacity=100))
+        with pytest.raises(ParameterError):
+            enforcer.request(200, lambda: None)
+
+    def test_unbounded_delay_rejected(self):
+        context = SimContext()
+        with pytest.raises(ParameterError):
+            RateBasedEnforcer(context, RmsParams())
+
+    def test_fifo_order_preserved(self):
+        context = SimContext()
+        enforcer = RateBasedEnforcer(context, enforced_params(capacity=500, delay=0.1))
+        order = []
+        for tag in range(5):
+            enforcer.request(400, lambda t=tag: order.append(t))
+        context.run()
+        assert order == list(range(5))
+
+
+class TestWindowEnforcer:
+    def test_window_fills_then_blocks(self):
+        context = SimContext()
+        window = WindowEnforcer(context, capacity=1000)
+        sent = []
+        window.request(600, lambda: sent.append("a"))
+        window.request(600, lambda: sent.append("b"))
+        assert sent == ["a"]
+        assert window.queued == 1
+
+    def test_ack_opens_window(self):
+        context = SimContext()
+        window = WindowEnforcer(context, capacity=1000)
+        sent = []
+        window.request(600, lambda: sent.append("a"))
+        window.request(600, lambda: sent.append("b"))
+        window.acknowledge(600)
+        assert sent == ["a", "b"]
+
+    def test_outstanding_tracks_bytes(self):
+        context = SimContext()
+        window = WindowEnforcer(context, capacity=1000)
+        window.request(300, lambda: None)
+        window.request(200, lambda: None)
+        assert window.outstanding == 500
+        window.acknowledge(300)
+        assert window.outstanding == 200
+
+    def test_over_ack_clamps_at_zero(self):
+        context = SimContext()
+        window = WindowEnforcer(context, capacity=1000)
+        window.request(300, lambda: None)
+        window.acknowledge(900)
+        assert window.outstanding == 0
+
+    def test_head_of_line_blocking(self):
+        """A large blocked head does not let smaller followers pass."""
+        context = SimContext()
+        window = WindowEnforcer(context, capacity=1000)
+        sent = []
+        window.request(900, lambda: sent.append("big1"))
+        window.request(900, lambda: sent.append("big2"))
+        window.request(10, lambda: sent.append("small"))
+        assert sent == ["big1"]
+
+    def test_invalid_capacity(self):
+        context = SimContext()
+        with pytest.raises(ParameterError):
+            WindowEnforcer(context, capacity=0)
+
+
+class TestReceiverCredit:
+    def test_credit_consumed_and_granted(self):
+        credit = ReceiverCredit(buffer_bytes=1000)
+        sent = []
+        credit.request(700, lambda: sent.append("a"))
+        credit.request(700, lambda: sent.append("b"))
+        assert sent == ["a"]
+        assert credit.stalls == 1
+        credit.grant(700)
+        assert sent == ["a", "b"]
+
+    def test_grant_clamps_at_buffer_size(self):
+        credit = ReceiverCredit(buffer_bytes=1000)
+        credit.grant(5000)
+        assert credit.available == 1000
+
+    def test_message_larger_than_buffer_rejected(self):
+        credit = ReceiverCredit(buffer_bytes=100)
+        with pytest.raises(ParameterError):
+            credit.request(200, lambda: None)
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ParameterError):
+            ReceiverCredit(buffer_bytes=0)

@@ -1,0 +1,110 @@
+"""Tests for sub-user / user RMS levels (section 3.4, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.core.rms import RmsLevel
+from repro.netsim.ethernet import EthernetNetwork
+from repro.netsim.topology import Host
+from repro.security.keys import KeyRegistry
+from repro.sim.context import SimContext
+from repro.subtransport.st import SubtransportLayer
+from repro.transport.layers import SubUserRms, UserRms
+
+
+def build():
+    context = SimContext(seed=42)
+    network = EthernetNetwork(context, trusted=True)
+    host_a, host_b = Host(context, "a"), Host(context, "b")
+    network.attach(host_a)
+    network.attach(host_b)
+    keys = KeyRegistry()
+    st_a = SubtransportLayer(context, host_a, [network], key_registry=keys)
+    st_b = SubtransportLayer(context, host_b, [network], key_registry=keys)
+    params = RmsParams(
+        capacity=16_384,
+        max_message_size=4_000,
+        delay_bound=DelayBound(0.1, 1e-5),
+        delay_bound_type=DelayBoundType.BEST_EFFORT,
+    )
+    future = st_a.create_st_rms("b", port="layered", desired=params,
+                                acceptable=params)
+    context.run(until=2.0)
+    return context, host_a, host_b, future.result()
+
+
+class TestSubUserRms:
+    def test_levels(self):
+        context, host_a, host_b, st_rms = build()
+        subuser = SubUserRms(context, st_rms, host_a, host_b)
+        assert subuser.level == RmsLevel.SUBUSER
+        assert st_rms.level == RmsLevel.SUBTRANSPORT
+
+    def test_delivery_through_levels(self):
+        context, host_a, host_b, st_rms = build()
+        subuser = SubUserRms(context, st_rms, host_a, host_b)
+        got = []
+        subuser.port.set_handler(got.append)
+        subuser.send(b"through the stack")
+        context.run(until=context.now + 2.0)
+        assert got[0].payload == b"through the stack"
+
+    def test_delay_includes_processing_stages(self):
+        """Section 3.4: sub-user delay bounds include protocol
+        processing time at both ends."""
+        context, host_a, host_b, st_rms = build()
+        subuser = SubUserRms(
+            context, st_rms, host_a, host_b, stage_allowance=5e-3
+        )
+        got = []
+        subuser.port.set_handler(got.append)
+        st_got = []
+        subuser.send(b"x" * 1000)
+        context.run(until=context.now + 2.0)
+        # The sub-user bound is the ST bound plus two stage allowances.
+        assert subuser.params.delay_bound.a == pytest.approx(
+            st_rms.params.delay_bound.a + 2 * 5e-3
+        )
+        # Measured delay includes CPU stages, so it exceeds the raw ST
+        # delay of the same message.
+        assert got[0].delay is not None
+        assert got[0].delay > st_rms.stats.delays[-1]
+
+    def test_user_rms_stacks_on_subuser(self):
+        context, host_a, host_b, st_rms = build()
+        subuser = SubUserRms(context, st_rms, host_a, host_b)
+        user = UserRms(context, subuser, host_a, host_b)
+        got = []
+        user.port.set_handler(got.append)
+        user.send(b"top level")
+        context.run(until=context.now + 2.0)
+        assert got[0].payload == b"top level"
+        assert user.level == RmsLevel.USER
+        assert user.params.delay_bound.a > subuser.params.delay_bound.a
+
+    def test_failure_propagates_up(self):
+        context, host_a, host_b, st_rms = build()
+        subuser = SubUserRms(context, st_rms, host_a, host_b)
+        reasons = []
+        subuser.on_failure.listen(lambda r, reason: reasons.append(reason))
+        st_rms.fail("lower level died")
+        assert reasons
+
+    def test_in_order_delivery_preserved(self):
+        context, host_a, host_b, st_rms = build()
+        subuser = SubUserRms(context, st_rms, host_a, host_b)
+        got = []
+        subuser.port.set_handler(lambda m: got.append(m.payload[0]))
+        for index in range(15):
+            subuser.send(bytes([index]) * 200)
+        context.run(until=context.now + 3.0)
+        assert got == list(range(15))
+
+    def test_delete_cascades_down(self):
+        context, host_a, host_b, st_rms = build()
+        subuser = SubUserRms(context, st_rms, host_a, host_b)
+        subuser.delete()
+        assert not subuser.is_open
+        assert not st_rms.is_open

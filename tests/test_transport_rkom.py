@@ -1,0 +1,189 @@
+"""Integration tests for RKOM (paper section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RkomTimeoutError
+from repro.netsim.ethernet import EthernetNetwork
+from repro.netsim.topology import Host
+from repro.security.keys import KeyRegistry
+from repro.sim.context import SimContext
+from repro.sim.process import Future
+from repro.subtransport.st import SubtransportLayer
+from repro.transport.rkom import HIGH_PORT, LOW_PORT, RkomConfig, RkomService
+
+
+def build(seed=42, **net_kwargs):
+    context = SimContext(seed=seed)
+    defaults = dict(trusted=True)
+    defaults.update(net_kwargs)
+    network = EthernetNetwork(context, **defaults)
+    host_a, host_b = Host(context, "a"), Host(context, "b")
+    network.attach(host_a)
+    network.attach(host_b)
+    keys = KeyRegistry()
+    st_a = SubtransportLayer(context, host_a, [network], key_registry=keys)
+    st_b = SubtransportLayer(context, host_b, [network], key_registry=keys)
+    rkom_a = RkomService(context, st_a)
+    rkom_b = RkomService(context, st_b)
+    return context, network, rkom_a, rkom_b
+
+
+class TestRkomBasics:
+    def test_call_and_reply(self):
+        context, _net, rkom_a, rkom_b = build()
+        rkom_b.register_handler("echo", lambda payload, src: b"echo:" + payload)
+        future = rkom_a.call("b", "echo", b"hello")
+        context.run(until=1.0)
+        assert future.result() == b"echo:hello"
+        assert rkom_a.stats.replies == 1
+
+    def test_channel_is_four_st_rms(self):
+        """Section 3.3: an RKOM channel has a low- and a high-delay RMS
+        in each direction."""
+        context, _net, rkom_a, rkom_b = build()
+        rkom_b.register_handler("noop", lambda payload, src: b"")
+        future = rkom_a.call("b", "noop")
+        context.run(until=1.0)
+        future.result()
+        channel_ab = rkom_a._channels["b"]
+        channel_ba = rkom_b._channels["a"]
+        assert channel_ab.low is not None and channel_ab.high is not None
+        assert channel_ba.low is not None and channel_ba.high is not None
+        # The low-delay RMS has the tighter bound.
+        assert (
+            channel_ab.low.params.delay_bound.a
+            < channel_ab.high.params.delay_bound.a
+        )
+
+    def test_unknown_op_returns_empty(self):
+        context, _net, rkom_a, rkom_b = build()
+        future = rkom_a.call("b", "does-not-exist", b"x")
+        context.run(until=1.0)
+        assert future.result() == b""
+
+    def test_handler_source_host_passed(self):
+        context, _net, rkom_a, rkom_b = build()
+        sources = []
+
+        def handler(payload, src):
+            sources.append(src)
+            return b""
+
+        rkom_b.register_handler("who", handler)
+        rkom_a.call("b", "who")
+        context.run(until=1.0)
+        assert sources == ["a"]
+
+    def test_async_handler_future_reply(self):
+        context, _net, rkom_a, rkom_b = build()
+
+        def handler(payload, src):
+            future = Future(context.loop)
+            context.loop.call_after(0.05, future.set_result, b"deferred")
+            return future
+
+        rkom_b.register_handler("slow", handler)
+        call = rkom_a.call("b", "slow")
+        context.run(until=1.0)
+        assert call.result() == b"deferred"
+
+    def test_concurrent_calls(self):
+        context, _net, rkom_a, rkom_b = build()
+        rkom_b.register_handler("echo", lambda payload, src: payload)
+        futures = [rkom_a.call("b", "echo", bytes([i])) for i in range(10)]
+        context.run(until=2.0)
+        assert [f.result() for f in futures] == [bytes([i]) for i in range(10)]
+
+    def test_channel_reused_across_calls(self):
+        context, network, rkom_a, rkom_b = build()
+        rkom_b.register_handler("echo", lambda payload, src: payload)
+        rkom_a.call("b", "echo", b"1")
+        context.run(until=1.0)
+        setups = network.setup_count
+        rkom_a.call("b", "echo", b"2")
+        context.run(until=2.0)
+        assert network.setup_count == setups  # nothing new created
+
+    def test_second_call_is_faster(self):
+        """Channel establishment is amortized over later calls."""
+        context, _net, rkom_a, rkom_b = build()
+        rkom_b.register_handler("echo", lambda payload, src: payload)
+        latencies = []
+
+        def measure():
+            for tag in (b"1", b"2"):
+                begin = context.now
+                yield rkom_a.call("b", "echo", tag)
+                latencies.append(context.now - begin)
+
+        context.spawn(measure())
+        context.run(until=10.0)
+        assert len(latencies) == 2
+        # The first call pays control-channel + channel setup; the second
+        # only the warm round trip (which includes piggyback queueing).
+        assert latencies[1] < latencies[0]
+
+
+class TestRkomReliability:
+    def _warm(self, context, rkom_a, rkom_b):
+        """Establish both channels before impairments kick in."""
+        rkom_b.register_handler("echo", lambda payload, src: payload)
+        warm = rkom_a.call("b", "echo", b"warm")
+        context.run(until=context.now + 5.0)
+        assert warm.result() == b"warm"
+
+    def test_retransmission_recovers_lost_request(self):
+        context, network, rkom_a, rkom_b = build(seed=7)
+        self._warm(context, rkom_a, rkom_b)
+        network.segment.impairment.frame_loss_rate = 0.25
+        futures = [rkom_a.call("b", "echo", bytes([i]), timeout=0.1) for i in range(10)]
+        context.run(until=context.now + 30.0)
+        completed = [f for f in futures if f.done and not f.failed]
+        assert len(completed) == 10
+        assert rkom_a.stats.retransmissions > 0
+
+    def test_duplicate_requests_executed_once(self):
+        """The reply cache gives at-most-once execution."""
+        context, network, rkom_a, rkom_b = build(seed=11)
+        self._warm(context, rkom_a, rkom_b)
+        network.segment.impairment.frame_loss_rate = 0.3
+        executions = []
+
+        def handler(payload, src):
+            executions.append(payload)
+            return payload
+
+        rkom_b.register_handler("once", handler)
+        futures = [rkom_a.call("b", "once", bytes([i]), timeout=0.1) for i in range(8)]
+        context.run(until=context.now + 60.0)
+        done = [f for f in futures if f.done and not f.failed]
+        assert len(done) == 8
+        # Each distinct request ran exactly once despite retransmissions.
+        assert len(executions) == 8
+
+    def test_timeout_when_peer_unreachable(self):
+        context, network, rkom_a, rkom_b = build()
+        rkom_b.register_handler("echo", lambda payload, src: payload)
+        # Warm the channel first.
+        warm = rkom_a.call("b", "echo", b"warm")
+        context.run(until=1.0)
+        warm.result()
+        # Now make the network eat everything.
+        network.segment.impairment.frame_loss_rate = 1.0
+        config_timeout = rkom_a.config
+        future = rkom_a.call("b", "echo", b"lost", timeout=0.05)
+        context.run(until=60.0)
+        assert future.failed
+        with pytest.raises(RkomTimeoutError):
+            future.result()
+        assert rkom_a.stats.timeouts == 1
+
+    def test_ack_clears_reply_cache(self):
+        context, _net, rkom_a, rkom_b = build()
+        rkom_b.register_handler("echo", lambda payload, src: payload)
+        future = rkom_a.call("b", "echo", b"x")
+        context.run(until=2.0)
+        future.result()
+        assert len(rkom_b._served) == 0  # ACK purged the cached reply
