@@ -18,8 +18,8 @@ MESSAGE = 1000  # bytes
 DURATION = 4.0
 
 
-def run_capacity(capacity: int, seed: int = 3):
-    system = build_lan(seed=seed)
+def run_capacity(capacity: int, seed: int = 3, observe: bool = False):
+    system = build_lan(seed=seed, observe=observe)
     params = RmsParams(
         capacity=capacity,
         max_message_size=MESSAGE,
@@ -53,6 +53,7 @@ def run_capacity(capacity: int, seed: int = 3):
         "predicted_kBps": rms.params.implied_bandwidth() / 1e3,
         "measured_kBps": goodput / 1e3,
         "violations": rms.stats.capacity_violations,
+        "system": system,  # for E16's observability overhead probe
     }
 
 

@@ -9,11 +9,12 @@ pytest with ``-s`` to see them) and appended to
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.dash.system import DashSystem
 from repro.metrics.report import Table
+from repro.obs.export import flight_recorder, write_metrics_json
 from repro.subtransport.config import StConfig
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -28,13 +29,36 @@ __all__ = [
 ]
 
 
-def report(experiment: str, table: Table) -> str:
-    """Print a bench table and persist it under benchmarks/results/."""
-    text = str(table)
-    print("\n" + text)
+def report(
+    experiment: str,
+    *tables: Table,
+    extra: Optional[Dict[str, Any]] = None,
+    obs: Optional[Any] = None,
+    echo: bool = True,
+) -> str:
+    """Persist bench output under benchmarks/results/.
+
+    Writes ``<experiment>.txt`` (the rendered tables, plus the flight
+    recorder when an enabled observability facade is passed) and
+    ``<experiment>.metrics.json`` (the machine-readable snapshot:
+    tables, registry metrics, span summary, and ``extra`` metadata).
+    """
+    parts = [str(table) for table in tables]
+    if obs is not None and obs.enabled:
+        parts.append(flight_recorder(obs))
+    text = "\n\n".join(parts)
+    if echo:
+        print("\n" + text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as handle:
         handle.write(text + "\n")
+    write_metrics_json(
+        os.path.join(RESULTS_DIR, f"{experiment}.metrics.json"),
+        obs=obs,
+        experiment=experiment,
+        tables=tables,
+        extra=extra,
+    )
     return text
 
 
@@ -43,12 +67,15 @@ def build_lan(
     st_config: Optional[StConfig] = None,
     nodes=("a", "b"),
     cpu_policy: str = "edf",
+    observe: bool = False,
     **net_kwargs,
 ) -> DashSystem:
     """A DASH system on one Ethernet segment."""
     defaults = dict(trusted=True)
     defaults.update(net_kwargs)
-    system = DashSystem(seed=seed, st_config=st_config, cpu_policy=cpu_policy)
+    system = DashSystem(
+        seed=seed, st_config=st_config, cpu_policy=cpu_policy, observe=observe
+    )
     system.add_ethernet(**defaults)
     for name in nodes:
         system.add_node(name)
@@ -64,6 +91,7 @@ def build_wan(
     senders=("a",),
     receiver: str = "z",
     st_config: Optional[StConfig] = None,
+    observe: bool = False,
     **net_kwargs,
 ) -> DashSystem:
     """A DASH system on a dumbbell internetwork.
@@ -73,7 +101,7 @@ def build_wan(
     """
     defaults = dict(trusted=True)
     defaults.update(net_kwargs)
-    system = DashSystem(seed=seed, st_config=st_config)
+    system = DashSystem(seed=seed, st_config=st_config, observe=observe)
     internet = system.add_internet(**defaults)
     internet.add_router("g1")
     internet.add_router("g2")

@@ -3,7 +3,7 @@
 
 Usage:  python benchmarks/run_all.py [e01 e05 ...]
 
-With no arguments, runs E1 through E15 in order.  Each experiment module
+With no arguments, runs E1 through E16 in order.  Each experiment module
 exposes ``run_experiment()`` and ``render(...)``; this runner simply
 chains them, so the output matches what the pytest benches assert on.
 """
@@ -33,10 +33,13 @@ EXPERIMENTS = [
     "bench_e13_fast_ack",
     "bench_e14_mux_rules_ablation",
     "bench_e15_downward_mux",
+    "bench_e16_observability",
 ]
 
 
 def main(argv) -> int:
+    from common import report
+
     wanted = [arg.lower() for arg in argv[1:]]
     failures = 0
     for name in EXPERIMENTS:
@@ -53,12 +56,15 @@ def main(argv) -> int:
             failures += 1
             continue
         elapsed = time.time() - started
-        if isinstance(rendered, tuple):
-            for table in rendered:
-                print(table)
-                print()
-        else:
-            print(rendered)
+        tables = rendered if isinstance(rendered, tuple) else (rendered,)
+        # Persist the .txt table and the .metrics.json snapshot for
+        # every experiment, exactly like the pytest benches do.  An
+        # experiment that ran with observability on hands back its obs
+        # handle in the result dict; forward it so the snapshot carries
+        # the metric families and span counts too.
+        obs = result.get("obs") if isinstance(result, dict) else None
+        report(name[len("bench_"):], *tables,
+               extra={"elapsed_s": elapsed}, obs=obs)
         print(f"[{tag}: {elapsed:.1f}s]\n")
     return 1 if failures else 0
 

@@ -42,6 +42,9 @@ class Message:
     are honest.  ``send_time`` and ``deliver_time`` are stamped by the
     providers to support delay measurement; ``deadline`` is the
     transmission deadline used for queue ordering (section 4.3.1).
+    ``trace_id`` ties the message to its observability span (assigned on
+    first send when observability is enabled); like the timestamps it is
+    measurement metadata, not accounted wire bytes.
     """
 
     payload: bytes
@@ -51,6 +54,7 @@ class Message:
     send_time: Optional[float] = None
     deliver_time: Optional[float] = None
     deadline: Optional[float] = None
+    trace_id: Optional[int] = None
     message_id: int = field(default_factory=lambda: next(_message_ids))
 
     def __post_init__(self) -> None:
@@ -94,6 +98,7 @@ class Message:
             send_time=self.send_time,
             deliver_time=self.deliver_time,
             deadline=self.deadline,
+            trace_id=self.trace_id,
         )
 
     @property

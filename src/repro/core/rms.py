@@ -45,6 +45,11 @@ class RmsLevel(enum.IntEnum):
     SUBUSER = 2
     USER = 3
 
+    @property
+    def layer(self) -> str:
+        """Short layer label used by observability spans and metrics."""
+        return ("net", "st", "subuser", "user")[int(self)]
+
 
 class RmsState(enum.Enum):
     OPEN = "open"
@@ -117,6 +122,26 @@ class Rms:
         self._last_delivered_id = 0
         self.created_at = context.now
         self.closed_at: Optional[float] = None
+        self.layer = self.level.layer
+        obs = context.obs
+        if obs.enabled:
+            # RmsStats stays the compatible per-stream facade; the
+            # registry holds the same counters as labeled families so
+            # they aggregate across streams and export uniformly.
+            labels = dict(layer=self.layer, rms=self.name)
+            metrics = obs.metrics
+            self._m_sent = metrics.counter("rms_messages_sent", **labels)
+            self._m_delivered = metrics.counter("rms_messages_delivered", **labels)
+            self._m_dropped = metrics.counter("rms_messages_dropped", **labels)
+            self._m_late = metrics.counter("rms_messages_late", **labels)
+            self._m_bytes_sent = metrics.counter("rms_bytes_sent", **labels)
+            self._m_bytes_delivered = metrics.counter(
+                "rms_bytes_delivered", **labels
+            )
+            self._m_violations = metrics.counter(
+                "rms_capacity_violations", **labels
+            )
+            self._m_delay = metrics.histogram("rms_delay_seconds", **labels)
 
     # -- client side ------------------------------------------------------
 
@@ -156,13 +181,26 @@ class Rms:
         self.stats.messages_sent += 1
         self.stats.bytes_sent += message.size
         self.outstanding_bytes += message.size
-        if self.outstanding_bytes > self.params.capacity:
+        violated = self.outstanding_bytes > self.params.capacity
+        if violated:
             # Client capacity violation: guarantees are void (section 4.4)
             # but the provider does not block -- it only counts.
             self.stats.capacity_violations += 1
         self.context.tracer.record(
             "rms", "send", rms=self.name, id=message.message_id, size=message.size
         )
+        obs = self.context.obs
+        if obs.enabled:
+            if message.trace_id is None:
+                message.trace_id = obs.spans.new_trace()
+            self._m_sent.inc()
+            self._m_bytes_sent.inc(message.size)
+            if violated:
+                self._m_violations.inc()
+            obs.spans.event(
+                message.trace_id, self.layer, "send",
+                rms=self.name, size=message.size,
+            )
         self._transmit(message)
         return message
 
@@ -181,11 +219,28 @@ class Rms:
         self.stats.messages_delivered += 1
         self.stats.bytes_delivered += message.size
         delay = message.delay
+        late = False
         if delay is not None:
             self.stats.delays.append(delay)
             if not self.params.delay_bound.is_unbounded:
                 if delay > self.params.delay_bound.bound_for(message.size) + 1e-12:
                     self.stats.messages_late += 1
+                    late = True
+        obs = self.context.obs
+        if obs.enabled:
+            self._m_delivered.inc()
+            self._m_bytes_delivered.inc(message.size)
+            if delay is not None:
+                self._m_delay.observe(delay)
+            obs.spans.event(
+                message.trace_id, self.layer, "deliver",
+                rms=self.name, delay=delay,
+            )
+            if late:
+                self._m_late.inc()
+                obs.spans.event(
+                    message.trace_id, self.layer, "late", rms=self.name
+                )
         if message.message_id < self._last_delivered_id:
             # In-sequence delivery is a basic property; a violation is a
             # provider bug, surfaced loudly in tests via the trace.
@@ -205,6 +260,13 @@ class Rms:
         self.context.tracer.record(
             "rms", "drop", rms=self.name, id=message.message_id, reason=reason
         )
+        obs = self.context.obs
+        if obs.enabled:
+            self._m_dropped.inc()
+            obs.spans.event(
+                message.trace_id, self.layer, "drop",
+                rms=self.name, reason=reason,
+            )
 
     def fail(self, reason: str = "provider failure") -> None:
         """Fail the stream and notify clients (basic property 3)."""

@@ -35,8 +35,9 @@ class DashSystem:
         rkom_config: Optional[RkomConfig] = None,
         cpu_policy: str = "edf",
         cost_model: Optional[CpuCostModel] = None,
+        observe: bool = False,
     ) -> None:
-        self.context = SimContext(seed=seed, trace=trace)
+        self.context = SimContext(seed=seed, trace=trace, observe=observe)
         self.keys = KeyRegistry()
         self.networks: Dict[str, Network] = {}
         self.nodes: Dict[str, DashNode] = {}
@@ -105,6 +106,11 @@ class DashSystem:
     @property
     def now(self) -> float:
         return self.context.now
+
+    @property
+    def obs(self):
+        """The context's observability facade (Null when disabled)."""
+        return self.context.obs
 
     def __repr__(self) -> str:
         return (

@@ -54,12 +54,19 @@ class ThroughputMeter:
         self.messages += 1
         self.last_time = now
 
+    #: Minimum measurement window (seconds).  With bytes recorded at the
+    #: very instant the meter started, the window is degenerate; the
+    #: epsilon keeps the rate finite instead of reporting 0.
+    MIN_WINDOW = 1e-9
+
     def throughput(self, end_time: Optional[float] = None) -> float:
         """Bytes per second from start to ``end_time`` (or last record)."""
         end = end_time if end_time is not None else self.last_time
-        if end is None or end <= self.start_time:
+        if end is None or self.bytes == 0:
             return 0.0
-        return self.bytes / (end - self.start_time)
+        if end < self.start_time:
+            return 0.0
+        return self.bytes / max(end - self.start_time, self.MIN_WINDOW)
 
 
 @dataclass

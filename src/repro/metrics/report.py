@@ -62,5 +62,13 @@ class Table:
     def add_row(self, *cells: Any) -> None:
         self.rows.append(list(cells))
 
+    def to_payload(self) -> dict:
+        """The table as a JSON-ready mapping (for ``*.metrics.json``)."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+        }
+
     def __str__(self) -> str:
         return format_table(self.headers, self.rows, title=self.title)

@@ -253,6 +253,9 @@ class Network:
             raise
         self._rms_table[rms.rms_id] = rms
         self.setup_count += 1
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.counter("net_setup_count", network=self.name).inc()
         future = Future(self.context.loop)
         pending = _PendingSetup(future=future)
         self._pending_setups[rms.rms_id] = pending
@@ -324,6 +327,11 @@ class Network:
         self.context.tracer.record(
             "net", "control_drop", net=self.name, kind=frame.kind, reason=reason
         )
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "net_control_drops", network=self.name, kind=frame.kind
+            ).inc()
 
     # -- incoming traffic -------------------------------------------------------
 
@@ -349,6 +357,15 @@ class Network:
             self.frames_delivered += 1
             if frame.corrupted:
                 self.frames_corrupted_delivered += 1
+            obs = self.context.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "net_frames_delivered", network=self.name
+                ).inc()
+                if frame.corrupted:
+                    obs.metrics.counter(
+                        "net_frames_corrupted", network=self.name
+                    ).inc()
             rms._frame_arrived(frame)
         elif frame.kind == "setup":
             rms = self._rms_table.get(frame.rms_id)

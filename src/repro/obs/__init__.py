@@ -1,0 +1,110 @@
+"""End-to-end observability for the DASH stack.
+
+One :class:`Observability` object per :class:`~repro.sim.context.SimContext`
+bundles the two instruments every layer shares:
+
+- :attr:`Observability.metrics` -- a :class:`~repro.obs.registry.MetricsRegistry`
+  of labeled counters, gauges, and latency histograms;
+- :attr:`Observability.spans` -- a :class:`~repro.obs.spans.SpanTracer`
+  recording per-message lifecycle events for delay decomposition.
+
+Instrumentation sites pay a single attribute check when observability is
+off::
+
+    obs = self.context.obs
+    if obs.enabled:
+        obs.spans.event(message.trace_id, "st", "tx")
+
+The disabled path is a :class:`NullObservability` whose registry and
+tracer are stateless no-ops, so benchmarks with observability off run at
+full speed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.obs.export import (
+    flight_recorder,
+    metrics_payload,
+    span_lines,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.spans import (
+    NullSpanTracer,
+    Segment,
+    SpanBreakdown,
+    SpanEvent,
+    SpanTracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanEvent",
+    "Segment",
+    "SpanBreakdown",
+    "SpanTracer",
+    "NullSpanTracer",
+    "Observability",
+    "NullObservability",
+    "DEFAULT_LATENCY_BUCKETS",
+    "metrics_payload",
+    "write_metrics_json",
+    "span_lines",
+    "write_spans_jsonl",
+    "flight_recorder",
+]
+
+
+class Observability:
+    """The enabled facade: live metrics registry plus span tracer."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        loop: Any,
+        max_span_events: int = 1_000_000,
+        span_keep: str = "head",
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.spans = SpanTracer(loop, max_events=max_span_events, keep=span_keep)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Combined JSON-serializable state (metrics + span summary)."""
+        return metrics_payload(obs=self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Observability families={len(self.metrics.families)} "
+            f"span_events={len(self.spans)}>"
+        )
+
+
+class NullObservability:
+    """The disabled facade: every instrument is a stateless no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = NullRegistry()
+        self.spans = NullSpanTracer()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+    def __repr__(self) -> str:
+        return "<NullObservability>"

@@ -1,0 +1,345 @@
+"""The metrics registry: labeled counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` lives on each :class:`~repro.sim.context.SimContext`
+(behind the :class:`~repro.obs.Observability` facade).  Layers register
+*families* -- a metric name plus a fixed set of label names -- and obtain
+per-label-set instruments from them, e.g.::
+
+    sent = registry.counter("rms_messages_sent", layer="st", rms="st:a->b")
+    sent.inc()
+
+Instrument updates are plain attribute arithmetic so the enabled path
+stays cheap; the disabled path uses the stateless null instruments of
+:class:`NullRegistry`, reached through a single ``obs.enabled`` check at
+each instrumentation site.
+
+Histograms use fixed buckets (cumulative-style, like Prometheus) so
+latency distributions can be exported without retaining every sample.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Log-spaced latency buckets (seconds), 100 us .. 10 s; +inf is implicit.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ParameterError(f"counters only go up: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A fixed-bucket histogram with sum and count.
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets; one
+    overflow bucket past the last bound is implicit.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(bounds if bounds is not None else DEFAULT_LATENCY_BUCKETS)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ParameterError(f"histogram bounds must be sorted: {bounds}")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Approximate quantile by linear interpolation within a bucket."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ParameterError(f"fraction must be in [0, 1]: {fraction}")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        cumulative = 0
+        lower = 0.0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            upper = (
+                self.bounds[index]
+                if index < len(self.bounds)
+                else math.inf
+            )
+            if cumulative + bucket_count >= target:
+                if bucket_count == 0 or math.isinf(upper):
+                    return lower if not math.isinf(upper) else self.bounds[-1]
+                weight = (target - cumulative) / bucket_count
+                return lower + weight * (upper - lower)
+            cumulative += bucket_count
+            lower = upper
+        return self.bounds[-1]
+
+
+class MetricFamily:
+    """All instruments sharing one metric name, keyed by label values."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        label_names: Tuple[str, ...],
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.label_names = label_names
+        self.buckets = buckets
+        self.help = help
+        self.instruments: Dict[Tuple[Any, ...], Any] = {}
+
+    def labels(self, **labels: Any) -> Any:
+        names = tuple(sorted(labels))
+        if names != self.label_names:
+            raise ParameterError(
+                f"metric {self.name!r} has labels {self.label_names}, "
+                f"got {names}"
+            )
+        key = tuple(labels[name] for name in self.label_names)
+        instrument = self.instruments.get(key)
+        if instrument is None:
+            if self.kind == "counter":
+                instrument = Counter()
+            elif self.kind == "gauge":
+                instrument = Gauge()
+            else:
+                instrument = Histogram(self.buckets)
+            self.instruments[key] = instrument
+        return instrument
+
+    def series(self) -> Iterable[Tuple[Dict[str, Any], Any]]:
+        for key, instrument in self.instruments.items():
+            yield dict(zip(self.label_names, key)), instrument
+
+
+class MetricsRegistry:
+    """Families of labeled instruments, addressable by name."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.families: Dict[str, MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        labels: Dict[str, Any],
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+    ) -> MetricFamily:
+        family = self.families.get(name)
+        if family is None:
+            family = MetricFamily(
+                name, kind, tuple(sorted(labels)), buckets=buckets, help=help
+            )
+            self.families[name] = family
+        elif family.kind != kind:
+            raise ParameterError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        return self._family(name, "counter", labels, help=help).labels(**labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        return self._family(name, "gauge", labels, help=help).labels(**labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+        **labels: Any,
+    ) -> Histogram:
+        return self._family(
+            name, "histogram", labels, buckets=buckets, help=help
+        ).labels(**labels)
+
+    def get(self, name: str, **labels: Any) -> Optional[Any]:
+        """The existing instrument for a name/label set, else ``None``."""
+        family = self.families.get(name)
+        if family is None:
+            return None
+        key = tuple(labels[n] for n in family.label_names if n in labels)
+        if len(key) != len(family.label_names):
+            return None
+        return family.instruments.get(key)
+
+    def clear(self) -> None:
+        self.families.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of every family and series."""
+        out: Dict[str, Any] = {}
+        for name, family in sorted(self.families.items()):
+            entries: List[Dict[str, Any]] = []
+            for labels, instrument in family.series():
+                entry: Dict[str, Any] = {"labels": labels}
+                if family.kind == "histogram":
+                    entry["count"] = instrument.count
+                    entry["sum"] = instrument.sum
+                    entry["mean"] = instrument.mean
+                    entry["p50"] = instrument.quantile(0.50)
+                    entry["p99"] = instrument.quantile(0.99)
+                    entry["buckets"] = {
+                        "le": list(instrument.bounds),
+                        "counts": list(instrument.bucket_counts),
+                    }
+                else:
+                    entry["value"] = instrument.value
+                entries.append(entry)
+            out[name] = {"kind": family.kind, "series": entries}
+        return out
+
+
+class NullCounter:
+    """A stateless counter that ignores updates."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+
+class NullGauge:
+    """A stateless gauge that ignores updates."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        return None
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+
+class NullHistogram:
+    """A stateless histogram that ignores observations."""
+
+    __slots__ = ()
+    bounds: Tuple[float, ...] = ()
+    sum = 0.0
+    count = 0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def quantile(self, fraction: float) -> float:
+        return 0.0
+
+    @property
+    def bucket_counts(self) -> List[int]:
+        return []
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """The disabled-path registry: every lookup is a shared no-op.
+
+    Deliberately stateless (no per-instance mutable attributes) so two
+    NullRegistries can never alias observable state.
+    """
+
+    enabled = False
+
+    @property
+    def families(self) -> Dict[str, MetricFamily]:
+        return {}
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+        **labels: Any,
+    ) -> NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def get(self, name: str, **labels: Any) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}

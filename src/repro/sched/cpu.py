@@ -71,6 +71,8 @@ class WorkItem:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    trace_id: Optional[int] = None  # observability span, if the work
+    # item carries one message's protocol stage
 
     @property
     def missed_deadline(self) -> Optional[bool]:
@@ -120,6 +122,7 @@ class HostCpu:
         deadline: float,
         callback: Callable[[], None],
         priority: int = 0,
+        trace_id: Optional[int] = None,
     ) -> WorkItem:
         """Queue one work item; ``callback`` runs when it completes."""
         item = WorkItem(
@@ -129,11 +132,15 @@ class HostCpu:
             callback=callback,
             priority=priority,
             submitted_at=self.context.now,
+            trace_id=trace_id,
         )
         self._queue.push(item, deadline=deadline, priority=priority)
         self.context.tracer.record(
             "cpu", "submit", cpu=self.name, item=name, deadline=deadline
         )
+        obs = self.context.obs
+        if obs.enabled:
+            obs.spans.event(trace_id, "cpu", "enqueue", cpu=self.name, item=name)
         if not self._busy:
             self._dispatch()
         return item
@@ -149,12 +156,16 @@ class HostCpu:
         mac: bool = False,
         copies: int = 1,
         priority: int = 0,
+        trace_id: Optional[int] = None,
     ) -> WorkItem:
         """Queue a protocol stage costed by the CPU's cost model."""
         cpu_time = self.costs.protocol_cost(
             size, checksum=checksum, encrypt=encrypt, mac=mac, copies=copies
         )
-        return self.submit(name, cpu_time, deadline, callback, priority=priority)
+        return self.submit(
+            name, cpu_time, deadline, callback, priority=priority,
+            trace_id=trace_id,
+        )
 
     @property
     def queue_length(self) -> int:
@@ -177,6 +188,11 @@ class HostCpu:
             run_time += self.costs.per_context_switch
             self.context_switches += 1
         self._last_owner = owner
+        obs = self.context.obs
+        if obs.enabled:
+            obs.spans.event(
+                item.trace_id, "cpu", "dequeue", cpu=self.name, item=item.name
+            )
         self.context.loop.call_after(run_time, self._finish, item, run_time)
 
     def _finish(self, item: WorkItem, run_time: float) -> None:
@@ -195,6 +211,19 @@ class HostCpu:
             item=item.name,
             missed=item.missed_deadline,
         )
+        obs = self.context.obs
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("cpu_items_run", cpu=self.name).inc()
+            if item.missed_deadline:
+                metrics.counter("cpu_deadline_misses", cpu=self.name).inc()
+            metrics.histogram(
+                "cpu_queue_wait_seconds", cpu=self.name
+            ).observe((item.started_at or item.submitted_at) - item.submitted_at)
+            obs.spans.event(
+                item.trace_id, "cpu", "done",
+                cpu=self.name, item=item.name, missed=item.missed_deadline,
+            )
         item.callback()
         self._dispatch()
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional, Set, Union
 
+from repro.obs import NullObservability, Observability
 from repro.sim.events import EventLoop, Signal
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
@@ -25,6 +26,8 @@ class SimContext:
         seed: int = 0,
         trace: bool = False,
         trace_categories: Optional[Set[str]] = None,
+        observe: bool = False,
+        obs: Optional[Union[Observability, NullObservability]] = None,
     ) -> None:
         self.loop = EventLoop()
         self.rng = RandomStreams(seed)
@@ -33,6 +36,15 @@ class SimContext:
             self.tracer = Tracer(self.loop, trace_categories)
         else:
             self.tracer = NullTracer()
+        #: Metrics registry + span tracer; a stateless null facade unless
+        #: ``observe=True`` (or a prebuilt facade is injected).
+        self.obs: Union[Observability, NullObservability]
+        if obs is not None:
+            self.obs = obs
+        elif observe:
+            self.obs = Observability(self.loop)
+        else:
+            self.obs = NullObservability()
 
     @property
     def now(self) -> float:

@@ -6,9 +6,11 @@ Tests assert against traces; benchmarks keep tracing off for speed.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Set
+from typing import Any, Deque, Dict, Iterator, List, Optional, Set
 
+from repro.errors import ParameterError
 from repro.sim.events import EventLoop
 
 __all__ = ["TraceRecord", "Tracer", "NullTracer"]
@@ -29,18 +31,29 @@ class TraceRecord:
 
 
 class Tracer:
-    """Records trace entries, optionally filtered by category."""
+    """Records trace entries, optionally filtered by category.
+
+    ``keep`` selects what happens once ``max_records`` is reached:
+    ``"head"`` (the default) keeps the earliest records and drops new
+    ones; ``"tail"`` runs the buffer as a ring, evicting the oldest
+    record to admit each new one.  Either way ``dropped`` counts the
+    records lost.
+    """
 
     def __init__(
         self,
         loop: EventLoop,
         categories: Optional[Set[str]] = None,
         max_records: int = 1_000_000,
+        keep: str = "head",
     ) -> None:
+        if keep not in ("head", "tail"):
+            raise ParameterError(f"keep must be 'head' or 'tail': {keep!r}")
         self._loop = loop
         self._categories = categories
         self._max_records = max_records
-        self.records: List[TraceRecord] = []
+        self.keep = keep
+        self.records: Deque[TraceRecord] = deque()
         self.dropped = 0
 
     @property
@@ -55,7 +68,9 @@ class Tracer:
             return
         if len(self.records) >= self._max_records:
             self.dropped += 1
-            return
+            if self.keep == "head":
+                return
+            self.records.popleft()  # ring buffer: oldest makes room
         self.records.append(TraceRecord(self._loop.now, category, event, fields))
 
     def select(
@@ -83,8 +98,11 @@ class Tracer:
 class NullTracer:
     """A tracer that records nothing; the default for benchmarks."""
 
-    records: List[TraceRecord] = []
-    dropped = 0
+    def __init__(self) -> None:
+        # Per-instance, never class-level: a shared mutable list would
+        # leak state across every simulation using the null tracer.
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
 
     @property
     def enabled(self) -> bool:

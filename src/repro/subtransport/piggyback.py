@@ -134,6 +134,9 @@ class PiggybackQueue:
             return
         if reason == "forced":
             self.flushes_forced += 1
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.counter("st_piggyback_flushes", reason=reason).inc()
         entries, self._entries = self._entries, []
         self._encoded_bytes = _BUNDLE_HEADER_BYTES
         self._disarm_timer()
@@ -146,6 +149,17 @@ class PiggybackQueue:
         # transmission deadline, floored by the per-stream ordering rule.
         deadline = max(max_deadline for _, max_deadline, _ in entries)
         deadline = max(deadline, self.ordering_floor(st_ids))
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "st_bundle_components", components=len(entries)
+            ).inc()
+            for entry, _, _ in entries:
+                obs.spans.event(
+                    entry.trace_id, "net", "tx",
+                    st_rms=entry.st_rms_id, seq=entry.seq,
+                    bundled=len(entries),
+                )
         self.flush_fn(payload, deadline, st_ids, len(entries))
 
     def _arm_timer(self) -> None:

@@ -127,6 +127,7 @@ class _RxStream:
     partial_offset: int = 0  # next expected fragment offset
     partial_deadline_time: float = 0.0
     partial_send_time: float = 0.0
+    partial_trace: Optional[int] = None  # span of the message being reassembled
     #: Monotonic floor on receive-stage CPU deadlines: without it, a
     #: smaller (hence earlier-deadline) later message could overtake its
     #: predecessor in the EDF CPU queue, violating in-sequence delivery.
@@ -308,6 +309,9 @@ class SubtransportLayer:
         binding.attach(st_rms)
         st_rms.on_failure.listen(lambda rms, reason: self._st_failed(peer, rms))
         self.stats.st_rms_created += 1
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.counter("st_rms_created", host=self.host.name).inc()
         self.context.tracer.record(
             "st", "st_rms_open", st=st_rms.name, net=binding.network_rms.name
         )
@@ -471,6 +475,11 @@ class SubtransportLayer:
             target=Label(peer.host_name, CONTROL_PORT),
         )
         self.stats.control_messages += 1
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "st_control_messages", host=self.host.name
+            ).inc()
         if peer.control_out_state == "ready" and peer.control_out is not None:
             self._control_transmit(peer, message)
         else:
@@ -621,10 +630,15 @@ class SubtransportLayer:
     def _assign_binding(self, peer: _PeerState, st_params: RmsParams):
         """Generator yielding a binding that can carry the new ST RMS."""
         enforce = self.config.enforce_mux_rules
+        obs = self.context.obs
         if self.config.multiplexing_enabled:
             for binding in peer.bindings:
                 if binding.can_accept(st_params, enforce) is None:
                     self.stats.mux_joins += 1
+                    if obs.enabled:
+                        obs.metrics.counter(
+                            "st_mux_joins", host=self.host.name
+                        ).inc()
                     return binding
         if self.config.cache_enabled:
             for binding in list(peer.cached):
@@ -632,6 +646,10 @@ class SubtransportLayer:
                     peer.cached.remove(binding)
                     peer.bindings.append(binding)
                     self.stats.cache_hits += 1
+                    if obs.enabled:
+                        obs.metrics.counter(
+                            "st_cache_hits", host=self.host.name
+                        ).inc()
                     return binding
         desired, acceptable = self._network_params_for(peer, st_params)
         source = Label(self.host.name, DATA_PORT)
@@ -661,6 +679,10 @@ class SubtransportLayer:
             )
         )
         self.stats.network_rms_created += 1
+        if obs.enabled:
+            obs.metrics.counter(
+                "st_network_rms_created", host=self.host.name
+            ).inc()
         return binding
 
     def _network_rms_failed(
@@ -746,6 +768,12 @@ class SubtransportLayer:
             binding.components_sent += count
             self.stats.bundles_sent += 1
             self.stats.components_sent += count
+            obs = self.context.obs
+            if obs.enabled:
+                obs.metrics.counter("st_bundles_sent", host=self.host.name).inc()
+                obs.metrics.counter(
+                    "st_components_sent", host=self.host.name
+                ).inc(count)
 
         return flush
 
@@ -767,6 +795,7 @@ class SubtransportLayer:
             checksum=plan.checksum,
             encrypt=plan.encrypt,
             mac=plan.mac,
+            trace_id=message.trace_id,
         )
 
     def _send_stage_done(
@@ -793,10 +822,19 @@ class SubtransportLayer:
             - overhead
         )
         if message.size <= max_component:
-            entry = self._make_entry(st_rms, message.payload, 0, arrival)
+            entry = self._make_entry(
+                st_rms, message.payload, 0, arrival, trace_id=message.trace_id
+            )
+            obs = self.context.obs
+            if obs.enabled:
+                obs.spans.event(
+                    message.trace_id, "st", "enqueue",
+                    st=st_rms.name, queued=queue is not None,
+                )
             if queue is not None:
                 queue.submit(entry, max_deadline, flush_by=flush_by)
             else:
+                self._emit_tx(entry)
                 self._make_flusher(binding)(
                     _encode_single(entry), max_deadline, [st_rms.rms_id], 1
                 )
@@ -828,6 +866,15 @@ class SubtransportLayer:
         )
         return arrival + max(slack, 0.0)
 
+    def _emit_tx(self, entry: BundleEntry) -> None:
+        """Span event for a component shipped outside a piggyback queue."""
+        obs = self.context.obs
+        if obs.enabled:
+            obs.spans.event(
+                entry.trace_id, "net", "tx",
+                st_rms=entry.st_rms_id, seq=entry.seq, bundled=1,
+            )
+
     def _make_entry(
         self,
         st_rms: StRms,
@@ -836,10 +883,16 @@ class SubtransportLayer:
         arrival: float,
         frag_offset: int = 0,
         frag_total: int = 0,
+        trace_id: Optional[int] = None,
     ) -> BundleEntry:
         """Apply the security plan to one component and wrap it."""
         plan = st_rms.plan
         seq = st_rms.take_seq()
+        obs = self.context.obs
+        if obs.enabled and trace_id is not None:
+            # Correlate the in-flight component with its span so the
+            # receiving ST can rejoin the trace (no wire-format change).
+            obs.spans.stash((st_rms.rms_id, seq), trace_id)
         flags = base_flags
         data = chunk
         if plan.encrypt:
@@ -861,6 +914,7 @@ class SubtransportLayer:
             send_time=arrival,
             frag_offset=frag_offset,
             frag_total=frag_total,
+            trace_id=trace_id,
         )
 
     def _send_fragments(
@@ -888,6 +942,12 @@ class SubtransportLayer:
         total = message.size
         flusher = self._make_flusher(binding)
         st_rms.messages_fragmented += 1
+        obs = self.context.obs
+        if obs.enabled:
+            obs.spans.event(
+                message.trace_id, "st", "enqueue",
+                st=st_rms.name, fragmented=True, total=total,
+            )
         offset = 0
         while offset < total:
             chunk = message.payload[offset : offset + chunk_size]
@@ -898,11 +958,17 @@ class SubtransportLayer:
                 arrival,
                 frag_offset=offset,
                 frag_total=total,
+                trace_id=message.trace_id,
             )
             deadline = max(max_deadline, binding.ordering_floor([st_rms.rms_id]))
+            self._emit_tx(entry)
             flusher(_encode_single(entry), deadline, [st_rms.rms_id], 1)
             self.stats.fragments_sent += 1
             st_rms.fragments_sent += 1
+            if obs.enabled:
+                obs.metrics.counter(
+                    "st_fragments_sent", host=self.host.name
+                ).inc()
             offset += len(chunk)
 
     # -- receive path ----------------------------------------------------------
@@ -918,9 +984,22 @@ class SubtransportLayer:
             self._receive_entry(entry)
 
     def _receive_entry(self, entry: BundleEntry) -> None:
+        obs = self.context.obs
+        if obs.enabled:
+            # Decoded entries lost their span on the wire; rejoin it from
+            # the tracer's side table.
+            entry.trace_id = obs.spans.claim((entry.st_rms_id, entry.seq))
+            obs.spans.event(
+                entry.trace_id, "net", "rx",
+                st_rms=entry.st_rms_id, seq=entry.seq, host=self.host.name,
+            )
         rx = self._rx.get(entry.st_rms_id)
         if rx is None:
             self.stats.orphan_components += 1
+            if obs.enabled:
+                obs.metrics.counter(
+                    "st_orphan_components", host=self.host.name
+                ).inc()
             return
         st_rms = rx.st_rms
         plan = st_rms.plan
@@ -932,7 +1011,7 @@ class SubtransportLayer:
             body, tag = data[:-_CHECKSUM_BYTES], data[-_CHECKSUM_BYTES:]
             if struct.pack(">I", crc32(body)) != tag:
                 self.stats.checksum_drops += 1
-                st_rms._drop(_phantom(body), "checksum failure")
+                st_rms._drop(_phantom(body, entry.trace_id), "checksum failure")
                 return
             data = body
         if entry.flags & FLAG_MAC:
@@ -943,7 +1022,7 @@ class SubtransportLayer:
             context = f"{st_rms.sender}|{entry.seq}".encode("utf-8")
             if not verify_mac(st_rms.session_key, body, tag, context):
                 self.stats.auth_drops += 1
-                st_rms._drop(_phantom(body), "authentication failure")
+                st_rms._drop(_phantom(body, entry.trace_id), "authentication failure")
                 return
             data = body
         if entry.flags & FLAG_ENCRYPTED:
@@ -953,22 +1032,35 @@ class SubtransportLayer:
         if entry.is_fragment:
             self._receive_fragment(rx, entry, data)
         else:
-            self._deliver_after_cpu(rx, data, entry.send_time)
+            self._deliver_after_cpu(rx, data, entry.send_time, entry.trace_id)
 
     def _receive_fragment(
         self, rx: _RxStream, entry: BundleEntry, data: bytes
     ) -> None:
         self.stats.fragments_received += 1
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "st_fragments_received", host=self.host.name
+            ).inc()
         if entry.frag_offset == 0:
             if rx.partial_expected and len(rx.partial) < rx.partial_expected:
                 # A fragment of the next message arrived while a message
                 # was incomplete: discard the partial (section 4.3).
                 self.stats.partials_discarded += 1
-                rx.st_rms._drop(_phantom(bytes(rx.partial)), "partial discarded")
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "st_partials_discarded", host=self.host.name
+                    ).inc()
+                rx.st_rms._drop(
+                    _phantom(bytes(rx.partial), rx.partial_trace),
+                    "partial discarded",
+                )
             rx.partial = bytearray()
             rx.partial_expected = entry.frag_total
             rx.partial_offset = 0
             rx.partial_send_time = entry.send_time
+            rx.partial_trace = entry.trace_id
         if entry.frag_offset != rx.partial_offset or rx.partial_expected == 0:
             # A gap (lost fragment): the message can never complete.
             # Leave the partial to be discarded on the next first-fragment.
@@ -981,10 +1073,16 @@ class SubtransportLayer:
             rx.partial = bytearray()
             rx.partial_expected = 0
             rx.partial_offset = 0
-            self._deliver_after_cpu(rx, payload, rx.partial_send_time)
+            self._deliver_after_cpu(
+                rx, payload, rx.partial_send_time, rx.partial_trace
+            )
 
     def _deliver_after_cpu(
-        self, rx: _RxStream, payload: bytes, send_time: float
+        self,
+        rx: _RxStream,
+        payload: bytes,
+        send_time: float,
+        trace_id: Optional[int] = None,
     ) -> None:
         st_rms = rx.st_rms
         receiver_host = st_rms.receiver.host
@@ -1003,17 +1101,29 @@ class SubtransportLayer:
         deadline = max(deadline, rx.last_cpu_deadline)
         rx.last_cpu_deadline = deadline
         plan = st_rms.plan
+        obs = self.context.obs
+        if obs.enabled:
+            obs.spans.event(
+                trace_id, "st", "rx", st=st_rms.name, size=len(payload)
+            )
         host.cpu.submit_protocol_stage(
             f"st/recv:{st_rms.rms_id}",
             len(payload),
             deadline,
-            lambda: self._final_deliver(rx, payload, send_time),
+            lambda: self._final_deliver(rx, payload, send_time, trace_id),
             checksum=plan.checksum,
             encrypt=plan.encrypt,
             mac=plan.mac,
+            trace_id=trace_id,
         )
 
-    def _final_deliver(self, rx: _RxStream, payload: bytes, send_time: float) -> None:
+    def _final_deliver(
+        self,
+        rx: _RxStream,
+        payload: bytes,
+        send_time: float,
+        trace_id: Optional[int] = None,
+    ) -> None:
         st_rms = rx.st_rms
         if st_rms.state is not RmsState.OPEN:
             return
@@ -1021,6 +1131,7 @@ class SubtransportLayer:
             payload, source=st_rms.sender, target=st_rms.receiver
         )
         message.send_time = send_time
+        message.trace_id = trace_id
         st_rms._deliver(message)
         if rx.fast_ack:
             peer = self._peer(rx.sender_host)
@@ -1033,6 +1144,15 @@ class SubtransportLayer:
                 },
             )
             self.stats.fast_acks_sent += 1
+            obs = self.context.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "st_fast_acks_sent", host=self.host.name
+                ).inc()
+                obs.spans.event(
+                    trace_id, "st", "ack",
+                    st=st_rms.name, seq=st_rms.stats.messages_delivered,
+                )
 
     def __repr__(self) -> str:
         return (
@@ -1058,6 +1178,6 @@ def _encode_single(entry: BundleEntry) -> bytes:
     return encode_bundle([entry])
 
 
-def _phantom(payload: bytes) -> Message:
+def _phantom(payload: bytes, trace_id: Optional[int] = None) -> Message:
     """A placeholder message for drop accounting of undecodable data."""
-    return Message(payload)
+    return Message(payload, trace_id=trace_id)

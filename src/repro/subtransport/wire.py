@@ -64,6 +64,10 @@ class BundleEntry:
     send_time: float
     frag_offset: int = 0
     frag_total: int = 0  # total original-message bytes, 0 if not a fragment
+    #: Observability span id.  In-process metadata only -- never encoded
+    #: (the receiving ST rejoins traces via the tracer's wire side table,
+    #: keyed by ``(st_rms_id, seq)``), so wire accounting is unchanged.
+    trace_id: Optional[int] = None
 
     @property
     def is_fragment(self) -> bool:

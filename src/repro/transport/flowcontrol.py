@@ -96,7 +96,9 @@ class RateBasedEnforcer:
         self.rate = params.capacity / self.window
         self._history: Deque[Tuple[float, int]] = deque()  # (send time, size)
         self._in_window = 0
-        self._pending: Deque[Tuple[int, Callable[[], None]]] = deque()
+        #: Pending sends: mutable [size, send, trace_id, held] records so
+        #: the drain loop can mark an item held exactly once.
+        self._pending: Deque[list] = deque()
         self._timer: Optional[EventHandle] = None
         self.sends_delayed = 0
 
@@ -106,27 +108,46 @@ class RateBasedEnforcer:
             _, size = self._history.popleft()
             self._in_window -= size
 
-    def request(self, size: int, send: Callable[[], None]) -> None:
+    def request(
+        self,
+        size: int,
+        send: Callable[[], None],
+        trace_id: Optional[int] = None,
+    ) -> None:
         """Run ``send`` as soon as the sliding-window rule allows."""
         if size > self.capacity:
             raise ParameterError(
                 f"message of {size}B exceeds enforced capacity {self.capacity}B"
             )
-        self._pending.append((size, send))
+        self._pending.append([size, send, trace_id, False])
         self._drain()
 
     def _drain(self) -> None:
         self._evict()
+        obs = self.context.obs
         while self._pending:
-            size, send = self._pending[0]
+            entry = self._pending[0]
+            size, send, trace_id, held = entry
             if self._in_window + size <= self.capacity:
                 self._pending.popleft()
                 self._history.append((self.context.now, size))
                 self._in_window += size
+                if held and obs.enabled:
+                    obs.spans.event(trace_id, "fc", "release", mechanism="rate")
                 send()
             else:
                 # Wait until the oldest history entry leaves the window.
-                self.sends_delayed += 1
+                if not held:
+                    entry[3] = True
+                    self.sends_delayed += 1
+                    if obs.enabled:
+                        obs.metrics.counter(
+                            "fc_sends_delayed", mechanism="rate"
+                        ).inc()
+                        obs.spans.event(
+                            trace_id, "fc", "hold",
+                            mechanism="rate", size=size,
+                        )
                 next_free = self._history[0][0] + self.window
                 self._arm_timer(next_free)
                 return
@@ -167,16 +188,21 @@ class WindowEnforcer:
         self.context = context
         self.capacity = capacity
         self.outstanding = 0
-        self._pending: Deque[Tuple[int, Callable[[], None]]] = deque()
+        self._pending: Deque[list] = deque()  # [size, send, trace_id, held]
         self.sends_delayed = 0
 
-    def request(self, size: int, send: Callable[[], None]) -> None:
+    def request(
+        self,
+        size: int,
+        send: Callable[[], None],
+        trace_id: Optional[int] = None,
+    ) -> None:
         """Run ``send`` once the window has ``size`` bytes free."""
         if size > self.capacity:
             raise ParameterError(
                 f"message of {size}B exceeds window capacity {self.capacity}B"
             )
-        self._pending.append((size, send))
+        self._pending.append([size, send, trace_id, False])
         self._drain()
 
     def acknowledge(self, size: int) -> None:
@@ -185,16 +211,29 @@ class WindowEnforcer:
         self._drain()
 
     def _drain(self) -> None:
+        obs = self.context.obs
         progressed = True
         while self._pending and progressed:
-            size, send = self._pending[0]
+            entry = self._pending[0]
+            size, send, trace_id, held = entry
             if self.outstanding + size <= self.capacity:
                 self._pending.popleft()
                 self.outstanding += size
+                if held and obs.enabled:
+                    obs.spans.event(trace_id, "fc", "release", mechanism="window")
                 send()
             else:
-                if len(self._pending) == 1:
+                if not held:
+                    entry[3] = True
                     self.sends_delayed += 1
+                    if obs.enabled:
+                        obs.metrics.counter(
+                            "fc_sends_delayed", mechanism="window"
+                        ).inc()
+                        obs.spans.event(
+                            trace_id, "fc", "hold",
+                            mechanism="window", size=size,
+                        )
                 progressed = False
 
     @property
@@ -212,20 +251,28 @@ class ReceiverCredit:
     Credit updates ride whatever ack path the enclosing protocol uses.
     """
 
-    def __init__(self, buffer_bytes: int) -> None:
+    def __init__(
+        self, buffer_bytes: int, context: Optional[SimContext] = None
+    ) -> None:
         if buffer_bytes <= 0:
             raise ParameterError(f"receive buffer must be > 0: {buffer_bytes}")
         self.buffer_bytes = buffer_bytes
         self.available = buffer_bytes
-        self._pending: Deque[Tuple[int, Callable[[], None]]] = deque()
+        self.context = context  # optional: only needed for observability
+        self._pending: Deque[list] = deque()  # [size, send, trace_id, held]
         self.stalls = 0
 
-    def request(self, size: int, send: Callable[[], None]) -> None:
+    def request(
+        self,
+        size: int,
+        send: Callable[[], None],
+        trace_id: Optional[int] = None,
+    ) -> None:
         if size > self.buffer_bytes:
             raise ParameterError(
                 f"message of {size}B exceeds receive buffer {self.buffer_bytes}B"
             )
-        self._pending.append((size, send))
+        self._pending.append([size, send, trace_id, False])
         self._drain()
 
     def grant(self, size: int) -> None:
@@ -234,15 +281,28 @@ class ReceiverCredit:
         self._drain()
 
     def _drain(self) -> None:
+        obs = self.context.obs if self.context is not None else None
         while self._pending:
-            size, send = self._pending[0]
+            entry = self._pending[0]
+            size, send, trace_id, held = entry
             if size <= self.available:
                 self._pending.popleft()
                 self.available -= size
+                if held and obs is not None and obs.enabled:
+                    obs.spans.event(trace_id, "fc", "release", mechanism="credit")
                 send()
             else:
-                if len(self._pending) == 1:
+                if not held:
+                    entry[3] = True
                     self.stalls += 1
+                    if obs is not None and obs.enabled:
+                        obs.metrics.counter(
+                            "fc_sends_delayed", mechanism="credit"
+                        ).inc()
+                        obs.spans.event(
+                            trace_id, "fc", "hold",
+                            mechanism="credit", size=size,
+                        )
                 return
 
     @property

@@ -73,6 +73,7 @@ class _PendingCall:
     retries: int = 0
     timeout: float = 0.0
     timer: Optional[EventHandle] = None
+    trace_id: Optional[int] = None  # observability span of the whole call
 
 
 class _Channel:
@@ -134,6 +135,14 @@ class RkomService:
         )
         self._pending[request_id] = pending
         self.stats.calls += 1
+        obs = self.context.obs
+        if obs.enabled:
+            pending.trace_id = obs.spans.new_trace()
+            obs.metrics.counter("rkom_calls", host=self.st.host.name).inc()
+            obs.spans.event(
+                pending.trace_id, "rkom", "call",
+                host=self.st.host.name, peer=peer_host, op=op,
+            )
         self._with_channel(
             peer_host, lambda channel: self._send_request(request_id, channel)
         )
@@ -154,9 +163,18 @@ class RkomService:
         if pending is None:
             return
         pending.retries += 1
+        obs = self.context.obs
         if pending.retries > self.config.max_retransmits:
             self._pending.pop(request_id, None)
             self.stats.timeouts += 1
+            if obs.enabled:
+                obs.metrics.counter(
+                    "rkom_timeouts", host=self.st.host.name
+                ).inc()
+                obs.spans.event(
+                    pending.trace_id, "rkom", "timeout",
+                    host=self.st.host.name, retries=pending.retries - 1,
+                )
             pending.future.set_exception(
                 RkomTimeoutError(
                     f"no reply from {pending.peer} after "
@@ -165,6 +183,14 @@ class RkomService:
             )
             return
         self.stats.retransmissions += 1
+        if obs.enabled:
+            obs.metrics.counter(
+                "rkom_retransmissions", host=self.st.host.name
+            ).inc()
+            obs.spans.event(
+                pending.trace_id, "rkom", "retransmit",
+                host=self.st.host.name, attempt=pending.retries,
+            )
         channel = self._channels.get(pending.peer)
         if channel is not None and channel.state == "ready":
             # Retransmissions ride the high-delay RMS.
@@ -230,6 +256,7 @@ class RkomService:
             error = RkomTimeoutError(
                 f"RKOM channel to {peer_host} could not be established"
             )
+            obs = self.context.obs
             for request_id in list(self._pending):
                 pending = self._pending[request_id]
                 if pending.peer == peer_host:
@@ -237,6 +264,14 @@ class RkomService:
                     if pending.timer is not None:
                         pending.timer.cancel()
                     self.stats.timeouts += 1
+                    if obs.enabled:
+                        obs.metrics.counter(
+                            "rkom_timeouts", host=self.st.host.name
+                        ).inc()
+                        obs.spans.event(
+                            pending.trace_id, "rkom", "timeout",
+                            host=self.st.host.name, reason="no-channel",
+                        )
                     pending.future.set_exception(error)
             return
         channel.state = "ready"
@@ -265,6 +300,15 @@ class RkomService:
             if pending.timer is not None:
                 pending.timer.cancel()
             self.stats.replies += 1
+            obs = self.context.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "rkom_replies", host=self.st.host.name
+                ).inc()
+                obs.spans.event(
+                    pending.trace_id, "rkom", "reply",
+                    host=self.st.host.name, peer=source_host,
+                )
             pending.future.set_result(body)
             self._send_ack(source_host, request_id)
         elif kind == _KIND_ACK:
@@ -272,8 +316,13 @@ class RkomService:
 
     def _serve(self, source_host: str, request_id: int, op: str, payload: bytes) -> None:
         key = (source_host, request_id)
+        obs = self.context.obs
         if key in self._served:
             self.stats.duplicate_requests += 1
+            if obs.enabled:
+                obs.metrics.counter(
+                    "rkom_duplicate_requests", host=self.st.host.name
+                ).inc()
             cached = self._served[key]
             if cached is not None:
                 # Retransmitted replies ride the high-delay RMS.
@@ -287,6 +336,10 @@ class RkomService:
         self._served[key] = None  # in progress
         self._trim_cache()
         self.stats.requests_served += 1
+        if obs.enabled:
+            obs.metrics.counter(
+                "rkom_requests_served", host=self.st.host.name
+            ).inc()
         result = handler(payload, source_host)
         if isinstance(result, Future):
             result.add_done_callback(

@@ -23,6 +23,7 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.core.message import Message
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.errors import ParameterError, TransportError
 from repro.sim.context import SimContext
@@ -143,7 +144,7 @@ class StreamSession:
             self._window = WindowEnforcer(context, data_rms.params.capacity)
         self._credit: Optional[ReceiverCredit] = None
         if config.flow_control.has_receiver_fc:
-            self._credit = ReceiverCredit(config.receive_buffer)
+            self._credit = ReceiverCredit(config.receive_buffer, context)
         # -- receiver state --
         self.rx_expected_seq = 0
         self.rx_buffer: Dict[int, bytes] = {}
@@ -214,29 +215,56 @@ class StreamSession:
         if self.config.reliable:
             self.tx_unacked[seq] = payload
         self.tx_sizes[seq] = len(payload)
-        self._gate_receiver(seq, payload)
+        # Allocate the message's trace before the flow-control gates so
+        # fc:hold/fc:release time spent waiting lands on its span.
+        obs = self.context.obs
+        trace_id = obs.spans.new_trace() if obs.enabled else None
+        self._gate_receiver(seq, payload, trace_id)
 
-    def _gate_receiver(self, seq: int, payload: bytes) -> None:
+    def _gate_receiver(
+        self, seq: int, payload: bytes, trace_id: Optional[int]
+    ) -> None:
         if self._credit is not None:
-            self._credit.request(len(payload), lambda: self._gate_capacity(seq, payload))
+            self._credit.request(
+                len(payload),
+                lambda: self._gate_capacity(seq, payload, trace_id),
+                trace_id=trace_id,
+            )
         else:
-            self._gate_capacity(seq, payload)
+            self._gate_capacity(seq, payload, trace_id)
 
-    def _gate_capacity(self, seq: int, payload: bytes) -> None:
+    def _gate_capacity(
+        self, seq: int, payload: bytes, trace_id: Optional[int]
+    ) -> None:
         size = len(payload) + _DATA_HEADER.size
         if self._rate is not None:
-            self._rate.request(size, lambda: self._transmit(seq, payload))
+            self._rate.request(
+                size, lambda: self._transmit(seq, payload, trace_id),
+                trace_id=trace_id,
+            )
         elif self._window is not None:
-            self._window.request(size, lambda: self._transmit(seq, payload))
+            self._window.request(
+                size, lambda: self._transmit(seq, payload, trace_id),
+                trace_id=trace_id,
+            )
         else:
-            self._transmit(seq, payload)
+            self._transmit(seq, payload, trace_id)
 
-    def _transmit(self, seq: int, payload: bytes) -> None:
+    def _transmit(
+        self, seq: int, payload: bytes, trace_id: Optional[int] = None
+    ) -> None:
         self._in_protocol = max(0, self._in_protocol - 1)
         if self.failed:
             return
         frame = _DATA_HEADER.pack(seq, _FLAG_NONE) + payload
-        self.data_rms.send(frame)
+        if trace_id is not None:
+            message = Message(
+                frame, source=self.data_rms.sender, target=self.data_rms.receiver
+            )
+            message.trace_id = trace_id
+            self.data_rms.send(message)
+        else:
+            self.data_rms.send(frame)
         self.stats.messages_sent += 1
         self.stats.bytes_sent += len(payload)
         if self.config.reliable:

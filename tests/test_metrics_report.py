@@ -1,0 +1,88 @@
+"""Tests for the plain-text table renderer and throughput meter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collectors import ThroughputMeter
+from repro.metrics.report import Table, format_table
+
+
+class TestFormatTable:
+    def test_float_rendering(self):
+        text = format_table(
+            ["value"],
+            [[0.0], [0.12345], [1.5], [12345.6]],
+        )
+        lines = text.splitlines()
+        assert lines[2].strip() == "0"
+        assert lines[3].strip() == "0.1235"  # 4 decimals below 1
+        assert lines[4].strip() == "1.50"  # 2 decimals in [1, 1000)
+        assert lines[5].strip() == "12,346"  # thousands separator above
+
+    def test_none_renders_as_text(self):
+        text = format_table(["a", "b"], [[None, 1]])
+        assert "None" in text
+
+    def test_alignment_and_rule(self):
+        text = format_table(
+            ["name", "count"],
+            [["long-name-here", 1], ["x", 22]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        header, rule = lines[1], lines[2]
+        # The rule under the header matches each column's width.
+        assert len(rule) == len(header.rstrip()) or len(rule) >= len("name")
+        widths = [len(part) for part in rule.split("  ")]
+        assert widths[0] == len("long-name-here")
+        assert widths[1] == len("count")
+        # Cells are left-justified to the column width.
+        assert lines[3].startswith("long-name-here  1")
+        assert lines[4].startswith("x" + " " * (widths[0] - 1) + "  22")
+
+    def test_row_wider_than_headers_tolerated(self):
+        text = format_table(["only"], [["a", "extra"]])
+        assert "a" in text
+
+
+class TestTable:
+    def test_incremental_build_and_str(self):
+        table = Table("title", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", None)
+        text = str(table)
+        assert text.splitlines()[0] == "title"
+        assert "2.50" in text
+        assert "None" in text
+
+    def test_to_payload_round_trip(self):
+        table = Table("t", ["h1", "h2"])
+        table.add_row(1, 0.5)
+        payload = table.to_payload()
+        assert payload == {
+            "title": "t",
+            "headers": ["h1", "h2"],
+            "rows": [[1, 0.5]],
+        }
+
+
+class TestThroughputMeter:
+    def test_normal_window(self):
+        meter = ThroughputMeter(start_time=0.0)
+        meter.record(1000, now=2.0)
+        assert meter.throughput() == pytest.approx(500.0)
+
+    def test_zero_width_window_uses_epsilon(self):
+        """Bytes recorded at the start instant must not report 0 B/s."""
+        meter = ThroughputMeter(start_time=1.0)
+        meter.record(500, now=1.0)
+        rate = meter.throughput()
+        assert rate > 0.0
+        assert rate == pytest.approx(500 / ThroughputMeter.MIN_WINDOW)
+
+    def test_no_bytes_is_zero(self):
+        meter = ThroughputMeter(start_time=0.0)
+        assert meter.throughput() == 0.0
+        assert meter.throughput(end_time=5.0) == 0.0

@@ -1,0 +1,144 @@
+"""Tests for the observability metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import NullObservability, Observability
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.sim.context import SimContext
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_histogram_buckets_and_mean(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(26.25)
+        assert histogram.bucket_counts == [1, 1, 1, 1]
+
+    def test_histogram_quantile_interpolates(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        for _ in range(10):
+            histogram.observe(1.5)  # all in the (1, 2] bucket
+        q = histogram.quantile(0.5)
+        assert 1.0 <= q <= 2.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ParameterError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_quantile_rejects_bad_fraction(self):
+        with pytest.raises(ParameterError):
+            Histogram().quantile(1.5)
+
+
+class TestRegistry:
+    def test_same_labels_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("sent", layer="st", rms="r1")
+        b = registry.counter("sent", rms="r1", layer="st")  # order-insensitive
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_distinct_labels_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("sent", rms="r1").inc()
+        registry.counter("sent", rms="r2").inc(2)
+        series = {
+            labels["rms"]: instrument.value
+            for labels, instrument in registry.families["sent"].series()
+        }
+        assert series == {"r1": 1, "r2": 2}
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", rms="r1")
+        with pytest.raises(ParameterError):
+            registry.gauge("x", rms="r1")
+
+    def test_label_name_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", rms="r1")
+        with pytest.raises(ParameterError):
+            registry.counter("x", host="a")
+
+    def test_get_existing_and_missing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x", rms="r1")
+        assert registry.get("x", rms="r1") is counter
+        assert registry.get("x", rms="r2") is None
+        assert registry.get("y") is None
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("sent", layer="st", rms="r1").inc(3)
+        registry.histogram("delay", layer="st", rms="r1").observe(0.01)
+        snapshot = registry.snapshot()
+        text = json.dumps(snapshot)
+        parsed = json.loads(text)
+        assert parsed["sent"]["kind"] == "counter"
+        assert parsed["sent"]["series"][0]["value"] == 3
+        histogram = parsed["delay"]["series"][0]
+        assert histogram["count"] == 1
+        assert "p50" in histogram and "p99" in histogram
+        assert "buckets" in histogram
+
+
+class TestNullRegistry:
+    def test_disabled_and_stateless(self):
+        registry = NullRegistry()
+        assert not registry.enabled
+        counter = registry.counter("x", rms="r1")
+        counter.inc(100)
+        assert counter.value == 0.0
+        assert registry.snapshot() == {}
+
+    def test_two_instances_share_nothing_mutable(self):
+        one, two = NullRegistry(), NullRegistry()
+        families = one.families
+        families["poison"] = object()
+        assert two.families == {}
+
+
+class TestObservabilityFacade:
+    def test_context_defaults_to_null(self):
+        context = SimContext()
+        assert not context.obs.enabled
+        assert isinstance(context.obs, NullObservability)
+        # The whole disabled path is one attribute check + no-ops.
+        assert context.obs.spans.new_trace() is None
+
+    def test_observe_flag_enables(self):
+        context = SimContext(observe=True)
+        assert context.obs.enabled
+        assert isinstance(context.obs, Observability)
+        assert context.obs.spans.new_trace() == 1

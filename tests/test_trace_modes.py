@@ -1,0 +1,63 @@
+"""Tests for tracer buffer modes and null-tracer isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.events import EventLoop
+from repro.sim.trace import NullTracer, Tracer
+
+
+class TestTracerModes:
+    def test_head_mode_keeps_earliest(self):
+        tracer = Tracer(EventLoop(), max_records=2, keep="head")
+        tracer.record("a", "one")
+        tracer.record("a", "two")
+        tracer.record("a", "three")
+        assert [r.event for r in tracer.records] == ["one", "two"]
+        assert tracer.dropped == 1
+
+    def test_tail_mode_keeps_latest(self):
+        tracer = Tracer(EventLoop(), max_records=2, keep="tail")
+        tracer.record("a", "one")
+        tracer.record("a", "two")
+        tracer.record("a", "three")
+        assert [r.event for r in tracer.records] == ["two", "three"]
+        assert tracer.dropped == 1
+
+    def test_tail_mode_counts_every_eviction(self):
+        tracer = Tracer(EventLoop(), max_records=1, keep="tail")
+        for index in range(5):
+            tracer.record("a", f"e{index}")
+        assert [r.event for r in tracer.records] == ["e4"]
+        assert tracer.dropped == 4
+
+    def test_default_is_head(self):
+        tracer = Tracer(EventLoop())
+        assert tracer.keep == "head"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ParameterError):
+            Tracer(EventLoop(), keep="ring")
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(EventLoop(), max_records=1, keep="tail")
+        tracer.record("a", "one")
+        tracer.record("a", "two")
+        tracer.clear()
+        assert len(tracer.records) == 0
+        assert tracer.dropped == 0
+
+
+class TestNullTracerIsolation:
+    def test_instances_do_not_alias_records(self):
+        one, two = NullTracer(), NullTracer()
+        assert one.records is not two.records
+        one.records.append("poison")
+        assert two.records == []
+
+    def test_instances_do_not_alias_dropped(self):
+        one, two = NullTracer(), NullTracer()
+        one.dropped = 99
+        assert two.dropped == 0
