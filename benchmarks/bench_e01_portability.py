@@ -24,10 +24,10 @@ def run_network(kind: str, seed: int = 1):
 
     rpc = RpcWorkload(system.context, node_a.rkom, "b",
                       clients=1, calls_per_client=20, think_time=0.01)
-    stream_future = system.open_stream("a", "b", StreamConfig(
+    handle = system.connect("a", "b", kind="stream", config=StreamConfig(
         data_max_message=4000, data_capacity=32 * 1024))
     system.run(until=system.now + 5.0)
-    session = stream_future.result()
+    session = handle.established.result()
 
     received = []
     finish = {"at": None}

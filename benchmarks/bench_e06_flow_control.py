@@ -40,9 +40,9 @@ def run_case(label, mode, capacity_mode, consume_rate, seed=6):
         data_capacity=16 * 1024,
         sender_port_limit=8,
     )
-    future = system.open_stream("a", "b", config)
+    handle = system.connect("a", "b", kind="stream", config=config)
     system.run(until=system.now + 2.0)
-    session = future.result()
+    session = handle.established.result()
     consumed = []
     finish = {"at": None}
     start = system.now

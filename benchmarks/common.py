@@ -136,9 +136,9 @@ def open_st_rms(system: DashSystem, sender: str, receiver: str,
                 fast_ack: bool = False, extra_time: float = 2.0):
     """Create an ST RMS between two nodes and wait for it."""
     params = params or best_effort_params()
-    future = system.nodes[sender].st.create_st_rms(
-        receiver, port=port, desired=params, acceptable=params,
-        fast_ack=fast_ack,
+    session = system.connect(
+        sender, receiver, desired=params, acceptable=params,
+        port=port, fast_ack=fast_ack,
     )
     system.run(until=system.now + extra_time)
-    return future.result()
+    return session.established.result()

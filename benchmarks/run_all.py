@@ -3,7 +3,7 @@
 
 Usage:  python benchmarks/run_all.py [e01 e05 ...]
 
-With no arguments, runs E1 through E16 in order.  Each experiment module
+With no arguments, runs E1 through E17 in order.  Each experiment module
 exposes ``run_experiment()`` and ``render(...)``; this runner simply
 chains them, so the output matches what the pytest benches assert on.
 """
@@ -34,6 +34,7 @@ EXPERIMENTS = [
     "bench_e14_mux_rules_ablation",
     "bench_e15_downward_mux",
     "bench_e16_observability",
+    "bench_e17_resilience",
 ]
 
 

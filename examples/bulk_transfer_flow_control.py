@@ -30,9 +30,9 @@ def run_one(mode: FlowControlMode, capacity_mode) -> dict:
         data_capacity=16 * 1024,
         sender_port_limit=8,
     )
-    future = system.open_stream("src", "dst", config)
+    handle = system.connect("src", "dst", kind="stream", config=config)
     system.run(until=system.now + 2.0)
-    session = future.result()
+    session = handle.established.result()
     consumed = []
 
     def consumer():

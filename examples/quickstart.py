@@ -4,9 +4,10 @@
 Demonstrates the core loop of the library:
 
 1. build a simulated system (one Ethernet, two DASH nodes);
-2. create a Real-Time Message Stream (RMS) with explicit parameters;
+2. open a session through ``DashSystem.connect`` with explicit RMS
+   parameters;
 3. send messages and observe delivery, delays, and failure notification;
-4. make a request/reply call through RKOM.
+4. make a request/reply call through an RKOM session.
 
 Run:  python examples/quickstart.py
 """
@@ -21,19 +22,19 @@ def main() -> None:
     alice = system.add_node("alice")
     bob = system.add_node("bob")
 
-    # Ask the subtransport layer for an ST RMS with explicit parameters:
-    # 16 kB capacity, 4 kB messages, 100 ms delay bound, best effort.
+    # Connect the two nodes with explicit RMS parameters: 16 kB
+    # capacity, 4 kB messages, 100 ms delay bound, best effort.
     params = RmsParams(
         capacity=16 * 1024,
         max_message_size=4 * 1024,
         delay_bound=DelayBound(0.1, 1e-5),
         delay_bound_type=DelayBoundType.BEST_EFFORT,
     )
-    future = alice.create_st_rms(bob, port="demo", desired=params,
-                                 acceptable=params)
+    session = system.connect(alice, bob, desired=params, acceptable=params,
+                             port="demo")
     system.run(until=1.0)  # let the control channel + setup handshake run
-    rms = future.result()
-    print(f"created {rms.name}")
+    rms = session.established.result()
+    print(f"created {rms.name} ({session.state.value})")
     print(f"  negotiated delay bound: {rms.params.delay_bound}")
     print(f"  implied bandwidth:      "
           f"{rms.params.implied_bandwidth() / 1e3:.1f} kB/s")
@@ -43,21 +44,27 @@ def main() -> None:
         print(f"  [{system.now * 1e3:8.3f} ms] bob got {message.size:5d} B "
               f"(delay {message.delay * 1e3:.3f} ms)")
 
-    rms.port.set_handler(on_message)
+    session.port.set_handler(on_message)
 
-    rms.send(b"hello DASH")
-    rms.send(b"x" * 3000)  # larger than the 1500 B MTU: ST fragments it
+    session.send(b"hello DASH")
+    session.send(b"x" * 3000)  # larger than the 1500 B MTU: ST fragments it
     system.run(until=2.0)
 
-    # Request/reply through RKOM (section 3.3 of the paper).
+    # Request/reply through an RKOM session (section 3.3 of the paper).
     bob.rkom.register_handler("time", lambda payload, src: b"12:00 PST")
-    reply = alice.call(bob, "time")
+    rpc = system.connect(alice, bob, kind="rkom")
+    reply = rpc.call("time")
     system.run(until=3.0)
     print(f"RKOM reply: {reply.result().decode()}")
 
-    # Failure notification is a basic RMS property.
-    rms.on_failure.listen(
-        lambda r, reason: print(f"RMS failed: {reason}")
+    # Failure notification is a basic RMS property; without a resilience
+    # policy the first failure is terminal.  (Pass
+    # resilience=ResiliencePolicy() to connect() for automatic retry,
+    # failover, and degradation instead.)
+    session.on_state_change.listen(
+        lambda s, old, new, reason: print(
+            f"session {old.value} -> {new.value}: {reason}"
+        )
     )
     system.networks["ether0"].segment.set_down()
     system.run(until=4.0)

@@ -45,22 +45,20 @@ def main() -> None:
     FileStore(server)
 
     results = []
+    rpc_a = system.connect(client_a, server, kind="rkom")
+    rpc_b = system.connect(client_b, server, kind="rkom")
 
     def client_a_script():
-        yield system.nodes["client-a"].call(
-            server, "put", b"readme\x00DASH reproduction notes"
-        )
-        yield system.nodes["client-a"].call(
-            server, "put", b"data.bin\x00" + bytes(range(200))
-        )
-        listing = yield client_a.call(server, "list")
+        yield rpc_a.call("put", b"readme\x00DASH reproduction notes")
+        yield rpc_a.call("put", b"data.bin\x00" + bytes(range(200)))
+        listing = yield rpc_a.call("list")
         results.append(("client-a listing", json.loads(listing)))
 
     def client_b_script():
         yield 0.5  # start after client-a's writes have settled
-        content = yield client_b.call(server, "get", b"readme")
+        content = yield rpc_b.call("get", b"readme")
         results.append(("client-b read readme", content.decode()))
-        missing = yield client_b.call(server, "get", b"nope")
+        missing = yield rpc_b.call("get", b"nope")
         results.append(("client-b read missing", missing))
 
     system.context.spawn(client_a_script())

@@ -18,6 +18,8 @@ from-scratch discrete-event network simulator:
 - :mod:`repro.baselines` -- datagrams, TCP-like stream, datagram RPC;
 - :mod:`repro.apps` -- voice/video/window/bulk/RPC workloads;
 - :mod:`repro.metrics` -- statistics and table rendering;
+- :mod:`repro.resilience` -- supervised sessions: retry, failover,
+  parameter degradation;
 - :mod:`repro.dash` -- whole-system assembly.
 
 Quickstart::
@@ -28,12 +30,16 @@ Quickstart::
     system.add_ethernet(trusted=True)
     a = system.add_node("a")
     b = system.add_node("b")
-    future = a.create_st_rms(b, port="app")
+    session = system.connect(a, b, port="app")
     system.run(until=1.0)
-    rms = future.result()
-    rms.port.set_handler(lambda m: print("got", m.size, "bytes"))
-    rms.send(b"hello DASH")
+    session.port.set_handler(lambda m: print("got", m.size, "bytes"))
+    session.send(b"hello DASH")
     system.run(until=2.0)
+
+Pass ``resilience=ResiliencePolicy()`` to :meth:`DashSystem.connect` to
+put the session under supervision: automatic re-establishment with
+jittered backoff, failover across attached networks, and parameter
+degradation toward the acceptable floor (paper section 2.4).
 """
 
 from repro.core import (
@@ -44,6 +50,7 @@ from repro.core import (
     Rms,
     RmsLevel,
     RmsParams,
+    RmsRequest,
     StatisticalSpec,
     is_compatible,
     negotiate,
@@ -55,6 +62,12 @@ from repro.errors import (
     ReproError,
     RmsError,
     RmsFailedError,
+)
+from repro.netsim import ChaosSchedule
+from repro.resilience import (
+    ResiliencePolicy,
+    Session,
+    SessionState,
 )
 from repro.sim import SimContext
 from repro.subtransport import StConfig, SubtransportLayer
@@ -83,7 +96,12 @@ __all__ = [
     "RmsFailedError",
     "RmsLevel",
     "RmsParams",
+    "RmsRequest",
     "RkomService",
+    "ChaosSchedule",
+    "ResiliencePolicy",
+    "Session",
+    "SessionState",
     "SimContext",
     "StConfig",
     "StatisticalSpec",

@@ -13,6 +13,7 @@ from repro.core.params import (
     DelayBound,
     DelayBoundType,
     RmsParams,
+    RmsRequest,
     StatisticalSpec,
     is_compatible,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "Rms",
     "RmsLevel",
     "RmsParams",
+    "RmsRequest",
     "RmsProvider",
     "RmsState",
     "RmsStats",

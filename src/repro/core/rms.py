@@ -284,6 +284,22 @@ class Rms:
             self.closed_at = self.context.now
             self.context.tracer.record("rms", "delete", rms=self.name)
 
+    def close(self) -> None:
+        """Idempotent teardown; already-failed or -deleted streams are a no-op.
+
+        Subclasses that need provider-side cleanup override this (and
+        keep it idempotent) so ``with``-blocks and the session layer can
+        always call it without tracking state themselves.
+        """
+        self.delete()
+
+    def __enter__(self) -> "Rms":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     @property
     def is_open(self) -> bool:
         return self.state is RmsState.OPEN

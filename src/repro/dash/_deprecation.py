@@ -1,0 +1,27 @@
+"""Warn-once machinery for the legacy creation entry points.
+
+Each deprecated entry point warns exactly once per process (pytest
+captures would otherwise drown in repeats); tests reset the registry via
+:func:`reset_deprecation_warnings` to assert the warning fires.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["reset_deprecation_warnings", "warn_once"]
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(key: str, message: str) -> None:
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecation warnings already fired (for tests)."""
+    _WARNED.clear()

@@ -7,9 +7,19 @@ realm -- the whole Figure-2 architecture, ready to run.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import itertools
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import NetworkError
+from repro.core.params import RmsParams, RmsRequest
+from repro.dash._deprecation import warn_once
+from repro.errors import NetworkError, ParameterError
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.session import (
+    RkomSession,
+    Session,
+    StSession,
+    TransportSession,
+)
 from repro.netsim.ethernet import EthernetNetwork
 from repro.netsim.internet import InternetNetwork
 from repro.netsim.network import Network
@@ -19,7 +29,7 @@ from repro.sim.context import SimContext
 from repro.subtransport.config import StConfig
 from repro.dash.node import DashNode
 from repro.transport.rkom import RkomConfig
-from repro.transport.stream import StreamConfig, open_stream
+from repro.transport.stream import StreamConfig
 
 __all__ = ["DashSystem"]
 
@@ -45,6 +55,8 @@ class DashSystem:
         self.rkom_config = rkom_config
         self.cpu_policy = cpu_policy
         self.cost_model = cost_model
+        self._connect_ids = itertools.count(1)
+        self._rkom_sessions: Dict[Tuple[str, str], RkomSession] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -83,19 +95,122 @@ class DashSystem:
             cpu_policy=self.cpu_policy,
             cost_model=self.cost_model,
         )
+        node.system = self
         self.nodes[name] = node
         return node
 
+    def _node(self, endpoint: Union[str, DashNode]) -> DashNode:
+        if isinstance(endpoint, DashNode):
+            endpoint = endpoint.name
+        try:
+            return self.nodes[endpoint]
+        except KeyError:
+            raise NetworkError(f"no node named {endpoint!r}") from None
+
     # -- conveniences -----------------------------------------------------------
 
+    def connect(
+        self,
+        sender: Union[str, DashNode],
+        receiver: Union[str, DashNode],
+        *,
+        desired: Optional[RmsParams] = None,
+        acceptable: Optional[RmsParams] = None,
+        request: Optional[RmsRequest] = None,
+        kind: str = "st",
+        resilience: Optional[ResiliencePolicy] = None,
+        port: Optional[str] = None,
+        fast_ack: bool = False,
+        config: Optional[StreamConfig] = None,
+        name: Optional[str] = None,
+    ) -> Session:
+        """The one way to open a channel between two nodes.
+
+        Returns a :class:`~repro.resilience.session.Session` handle
+        (``send``/``close``/context manager/``on_state_change``); its
+        ``established`` future resolves to the underlying channel once
+        it is up.  ``kind`` selects the channel: a raw subtransport RMS
+        (``"st"``), a reliable byte stream (``"stream"``), or RKOM
+        request/reply (``"rkom"``, one shared session per node pair).
+        Passing a :class:`ResiliencePolicy` as ``resilience`` puts the
+        channel under supervision: automatic re-establishment, failover
+        across attached networks, and parameter degradation.
+        """
+        sender_node = self._node(sender)
+        receiver_node = self._node(receiver)
+        if kind == "st":
+            req = RmsRequest.of(
+                desired=desired, acceptable=acceptable, request=request
+            )
+            port_name = port or f"connect-{next(self._connect_ids)}"
+            return StSession(
+                self.context,
+                sender_node.st,
+                receiver_node.name,
+                port=port_name,
+                request=req,
+                policy=resilience,
+                fast_ack=fast_ack,
+                name=name
+                or f"{sender_node.name}->{receiver_node.name}:{port_name}",
+            )
+        if kind == "stream":
+            if config is None and (desired is not None or request is not None):
+                # Honor the unified signature: derive the stream's data
+                # parameters from the desired set.
+                req = RmsRequest.of(
+                    desired=desired, acceptable=acceptable, request=request
+                )
+                config = StreamConfig(
+                    data_capacity=req.desired.capacity,
+                    data_max_message=req.desired.max_message_size,
+                    data_delay_bound=(
+                        None
+                        if req.desired.delay_bound.is_unbounded
+                        else req.desired.delay_bound.a
+                    ),
+                )
+            return TransportSession(
+                self.context,
+                sender_node.st,
+                receiver_node.st,
+                config=config,
+                policy=resilience,
+                name=name or f"{sender_node.name}~{receiver_node.name}:stream",
+            )
+        if kind == "rkom":
+            if desired is not None or acceptable is not None or request is not None:
+                raise ParameterError(
+                    "rkom sessions take their parameters from RkomConfig"
+                )
+            key = (sender_node.name, receiver_node.name)
+            session = self._rkom_sessions.get(key)
+            if session is None or session.state.value == "closed":
+                session = RkomSession(
+                    self.context,
+                    sender_node.rkom,
+                    receiver_node.name,
+                    policy=resilience,
+                    name=name or f"{sender_node.name}~{receiver_node.name}:rkom",
+                )
+                self._rkom_sessions[key] = session
+            return session
+        raise ParameterError(f"unknown session kind {kind!r}")
+
     def open_stream(self, sender: str, receiver: str, config: Optional[StreamConfig] = None):
-        """Open a transport stream between two named nodes."""
-        return open_stream(
-            self.context,
-            self.nodes[sender].st,
-            self.nodes[receiver].st,
-            config,
+        """Deprecated: use :meth:`connect` with ``kind="stream"``.
+
+        Kept as a thin shim: returns the session's ``established``
+        future, which resolves to the raw
+        :class:`~repro.transport.stream.StreamSession` exactly as the
+        old entry point did.
+        """
+        warn_once(
+            "DashSystem.open_stream",
+            "DashSystem.open_stream is deprecated; use "
+            "DashSystem.connect(sender, receiver, kind='stream')",
         )
+        return self.connect(sender, receiver, kind="stream", config=config).established
 
     def run(self, until: Optional[float] = None) -> float:
         return self.context.run(until=until)

@@ -1,6 +1,7 @@
 """Simulated network substrate: media, routing, admission, network RMS."""
 
 from repro.netsim.admission import AdmissionController, Reservation
+from repro.netsim.chaos import ChaosEvent, ChaosSchedule
 from repro.netsim.errors_model import ImpairmentModel
 from repro.netsim.ethernet import EthernetNetwork
 from repro.netsim.internet import InternetNetwork
@@ -10,6 +11,8 @@ from repro.netsim.topology import Host, Link, LinkStats
 
 __all__ = [
     "AdmissionController",
+    "ChaosEvent",
+    "ChaosSchedule",
     "EthernetNetwork",
     "FRAME_OVERHEAD_BYTES",
     "Frame",

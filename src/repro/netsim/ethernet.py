@@ -75,6 +75,10 @@ class EthernetNetwork(Network):
         )
         self._sniffers: List[Callable[[Frame], None]] = []
 
+    def can_reach(self, src: str, dst: str) -> bool:
+        """Reachable only while the shared segment is up."""
+        return super().can_reach(src, dst) and self.segment.is_up
+
     # -- medium -------------------------------------------------------------
 
     def _transmit_frame(

@@ -118,6 +118,7 @@ class InternetNetwork(Network):
                 total_bandwidth=bandwidth, total_buffer_bytes=buffer_bytes
             )
             link.on_down.listen(self._make_down_handler(src, dst))
+            link.on_up.listen(lambda _link: self._route_cache.clear())
             if self.source_quench:
                 link.on_overrun = self._make_overrun_handler(src, dst)
             links.append(link)
@@ -128,6 +129,16 @@ class InternetNetwork(Network):
             self.medium_bit_error_rate, bit_error_rate
         )
         return links[0], links[1]
+
+    def can_reach(self, src: str, dst: str) -> bool:
+        """True when a route of live links currently exists."""
+        if src not in self.hosts or dst not in self.hosts:
+            return False
+        try:
+            self.route_between(src, dst)
+        except RoutingError:
+            return False
+        return True
 
     def link(self, src: str, dst: str) -> Link:
         """The simplex link from ``src`` to ``dst``."""

@@ -110,6 +110,11 @@ class NetworkRms(Rms):
             return
         self._deliver(frame.message)
 
+    def close(self) -> None:
+        """Tear down through the owning network (releases reservations)."""
+        if self.is_open:
+            self.network.delete_rms(self)
+
 
 class Network:
     """Base class of network objects.
@@ -161,6 +166,15 @@ class Network:
             raise NetworkError(
                 f"host {host_name!r} is not attached to network {self.name}"
             ) from None
+
+    def can_reach(self, src: str, dst: str) -> bool:
+        """Whether the network can currently carry ``src -> dst`` traffic.
+
+        Subclasses refine this with medium state (segment up, route
+        exists) so multi-homed hosts can pick a usable network instead
+        of timing out on a dead one.
+        """
+        return src in self.hosts and dst in self.hosts
 
     # -- subclass interface -------------------------------------------------
 

@@ -80,6 +80,7 @@ class Link:
         self._up = True
         self.stats = LinkStats()
         self.on_down: Signal = Signal(context.loop)
+        self.on_up: Signal = Signal(context.loop)
         self._rng = context.rng.stream(f"link:{name}")
         #: Optional observer of overruns (used by source-quench gateways).
         self.on_overrun: Optional[Callable[[Frame], None]] = None
@@ -184,8 +185,12 @@ class Link:
         self.on_down.fire(self)
 
     def set_up(self) -> None:
+        """Restore the link and resume transmission of queued frames."""
+        if self._up:
+            return
         self._up = True
         self._start_next()
+        self.on_up.fire(self)
 
     def __repr__(self) -> str:
         state = "up" if self._up else "down"
@@ -216,6 +221,14 @@ class Host:
                 self.context.loop, name=f"{self.name}:{port_name}"
             )
         return self.ports[port_name]
+
+    def pause(self) -> None:
+        """Chaos hook: freeze protocol processing on this host's CPU."""
+        self.cpu.pause()
+
+    def resume(self) -> None:
+        """Undo :meth:`pause`; queued protocol stages dispatch again."""
+        self.cpu.resume()
 
     def __repr__(self) -> str:
         return f"<Host {self.name} nets={sorted(self.networks)}>"

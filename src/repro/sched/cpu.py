@@ -105,6 +105,7 @@ class HostCpu:
         self._queue: ReadyQueue[WorkItem] = make_queue(policy)
         self.policy = policy
         self._busy = False
+        self._paused = False
         self._last_owner: Optional[str] = None
         self._charge_switches = charge_context_switches
         # Statistics.
@@ -176,8 +177,22 @@ class HostCpu:
         """Busy seconds accumulated so far."""
         return self.busy_time
 
+    def pause(self) -> None:
+        """Stop dispatching queued work (a running item still completes).
+
+        Models a host outage (chaos schedules): submitted protocol
+        stages pile up in the ready queue until :meth:`resume`.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        if not self._paused:
+            return
+        self._paused = False
+        self._dispatch()
+
     def _dispatch(self) -> None:
-        if self._busy or not self._queue:
+        if self._busy or self._paused or not self._queue:
             return
         item = self._queue.pop()
         self._busy = True

@@ -170,6 +170,12 @@ class FlowControlledPort:
             self._queue.append(item)
             put_future.set_result(None)
 
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items (blocked putters stay put)."""
+        items = list(self._queue)
+        self._queue.clear()
+        return items
+
     def __repr__(self) -> str:
         return (
             f"<FlowControlledPort {self.name} queued={len(self._queue)}/"

@@ -30,7 +30,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.message import Label, Message
 from repro.core.negotiation import CapabilityTable, PerformanceLimits, negotiate
-from repro.core.params import DelayBound, DelayBoundType, RmsParams, StatisticalSpec
+from repro.core.params import (
+    DelayBound,
+    DelayBoundType,
+    RmsParams,
+    RmsRequest,
+    StatisticalSpec,
+)
 from repro.core.rms import RmsState
 from repro.errors import (
     AdmissionError,
@@ -181,6 +187,7 @@ class SubtransportLayer:
         self.config = config or StConfig()
         self.stats = StStats()
         self._peers: Dict[str, _PeerState] = {}
+        self._network_preference: Dict[str, str] = {}
         self._rx: Dict[int, _RxStream] = {}
         if not self.keys.is_registered(host.name):
             self.keys.register_host(host.name)
@@ -192,18 +199,96 @@ class SubtransportLayer:
     # ------------------------------------------------------------------
 
     def network_for(self, peer_host: str) -> Network:
-        """The first configured network both hosts attach to."""
-        for network in self.networks:
-            if self.host.name in network.hosts and peer_host in network.hosts:
+        """The preferred usable network shared with ``peer_host``.
+
+        Candidates are the configured networks both hosts attach to, in
+        configuration order.  Among candidates that can currently reach
+        the peer (:meth:`Network.can_reach`), an explicit per-peer
+        preference -- set by the resilience layer on failover -- wins,
+        then configuration order.  When no candidate is usable the first
+        candidate is returned, so establishment on a dead network still
+        fails through the normal setup-timeout path.
+        """
+        candidates = [
+            network
+            for network in self.networks
+            if self.host.name in network.hosts and peer_host in network.hosts
+        ]
+        if not candidates:
+            raise TransportError(
+                f"no common network between {self.host.name} and {peer_host}"
+            )
+        preferred = self._network_preference.get(peer_host)
+        if preferred is not None:
+            for network in candidates:
+                if network.name == preferred and network.can_reach(
+                    self.host.name, peer_host
+                ):
+                    return network
+        for network in candidates:
+            if network.can_reach(self.host.name, peer_host):
                 return network
-        raise TransportError(
-            f"no common network between {self.host.name} and {peer_host}"
-        )
+        return candidates[0]
+
+    def set_network_preference(
+        self, peer_host: str, network_name: Optional[str]
+    ) -> None:
+        """Prefer one attached network for a peer (resilience failover)."""
+        if network_name is None:
+            self._network_preference.pop(peer_host, None)
+            return
+        if network_name not in {network.name for network in self.networks}:
+            raise TransportError(
+                f"{self.host.name} is not attached to network {network_name!r}"
+            )
+        self._network_preference[peer_host] = network_name
 
     def _peer(self, peer_host: str) -> _PeerState:
-        if peer_host not in self._peers:
-            self._peers[peer_host] = _PeerState(peer_host, self.network_for(peer_host))
-        return self._peers[peer_host]
+        peer = self._peers.get(peer_host)
+        if peer is None:
+            peer = _PeerState(peer_host, self.network_for(peer_host))
+            self._peers[peer_host] = peer
+        else:
+            self._maybe_retarget(peer)
+        return peer
+
+    def _maybe_retarget(self, peer: _PeerState) -> None:
+        """Re-point a peer at a usable network after its old one died.
+
+        Only legal while no control channel exists or is being created:
+        a live channel pins the peer to its network, and a failed one
+        resets ``control_out_state`` to "none" first -- which is exactly
+        what lets the next request migrate.  Authentication state is
+        network-specific (trust differs per network), so it resets too.
+        """
+        if peer.control_out_state != "none":
+            return
+        target = self.network_for(peer.host_name)
+        if target is peer.network:
+            return
+        self.context.tracer.record(
+            "st", "retarget", host=self.host.name, peer=peer.host_name,
+            frm=peer.network.name, to=target.name,
+        )
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "st_peer_retargets", host=self.host.name, network=target.name
+            ).inc()
+        # Cached bindings on another network are useless to the new one;
+        # live bindings were already failed by the network itself.
+        for binding in list(peer.cached):
+            if binding.network_rms.network is not target:
+                peer.cached.remove(binding)
+                peer.queues.pop(binding.network_rms.rms_id, None)
+                binding.network_rms.close()
+        peer.network = target
+        peer.authenticated = False
+        peer.auth_in_progress = False
+        peer.control_in = None
+        if peer.auth_timer is not None:
+            peer.auth_timer.cancel()
+            peer.auth_timer = None
 
     def _session_key(self, peer_host: str) -> bytes:
         if not self.keys.is_registered(peer_host):
@@ -254,16 +339,21 @@ class SubtransportLayer:
         desired: Optional[RmsParams] = None,
         acceptable: Optional[RmsParams] = None,
         fast_ack: bool = False,
+        request: Optional[RmsRequest] = None,
     ) -> Future:
         """Create an ST RMS from this host to a port on ``peer_host``.
 
-        Returns a future resolving to the :class:`StRms`.  The first
-        request to a peer triggers control-channel creation and
-        authentication; later requests reuse the channel and, when the
-        multiplexing rules allow, an existing or cached network RMS.
+        Parameters may be given either as an :class:`RmsRequest` or as
+        the legacy ``desired``/``acceptable`` pair (not both).  Returns
+        a future resolving to the :class:`StRms`.  The first request to
+        a peer triggers control-channel creation and authentication;
+        later requests reuse the channel and, when the multiplexing
+        rules allow, an existing or cached network RMS.
         """
-        desired = desired or RmsParams()
-        acceptable = acceptable or desired
+        request = RmsRequest.of(desired=desired, acceptable=acceptable,
+                                request=request)
+        desired = request.desired
+        acceptable = request.floor
         result = Future(self.context.loop)
         process = self.context.spawn(
             self._create_flow(peer_host, port, desired, acceptable, fast_ack),
@@ -376,6 +466,7 @@ class SubtransportLayer:
     def _ensure_control_out(self, peer: _PeerState) -> None:
         if peer.control_out_state != "none":
             return
+        self._maybe_retarget(peer)
         peer.control_out_state = "creating"
         params = self._control_params()
         acceptable = params.with_(

@@ -21,9 +21,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
-from repro.errors import RkomTimeoutError, TransportError
+from repro.errors import RkomTimeoutError, RmsFailedError, TransportError
 from repro.sim.context import SimContext
-from repro.sim.events import EventHandle
+from repro.sim.events import EventHandle, Signal
 from repro.sim.process import Future
 from repro.subtransport.st import SubtransportLayer
 from repro.subtransport.strms import StRms
@@ -104,6 +104,9 @@ class RkomService:
         self._pending: Dict[int, _PendingCall] = {}
         #: Reply cache for at-most-once execution of duplicates.
         self._served: "OrderedDict[Tuple[str, int], Optional[bytes]]" = OrderedDict()
+        #: Fired with (peer_host, "ready" | "failed") on channel state
+        #: changes; the resilience layer surfaces these as session states.
+        self.on_channel_event: Signal = Signal(context.loop)
         host = st.host
         host.bind_port(LOW_PORT).set_handler(self._arrived)
         host.bind_port(HIGH_PORT).set_handler(self._arrived)
@@ -153,7 +156,12 @@ class RkomService:
         if pending is None:
             return
         # Initial requests ride the low-delay RMS.
-        channel.low.send(pending.frame)
+        try:
+            channel.low.send(pending.frame)
+        except RmsFailedError:
+            # The channel died between "ready" and this action running;
+            # the timeout path re-establishes it and retransmits.
+            pass
         pending.timer = self.context.loop.call_after(
             pending.timeout, self._timeout_fired, request_id
         )
@@ -194,7 +202,17 @@ class RkomService:
         channel = self._channels.get(pending.peer)
         if channel is not None and channel.state == "ready":
             # Retransmissions ride the high-delay RMS.
-            channel.high.send(pending.frame)
+            try:
+                channel.high.send(pending.frame)
+            except RmsFailedError:
+                pass  # the failure listener resets the channel; see below
+        else:
+            # The channel died (or never finished); re-establish it and
+            # retransmit through the fresh one if the call still waits.
+            self._with_channel(
+                pending.peer,
+                lambda ch, rid=request_id: self._resend_if_pending(rid, ch),
+            )
         pending.timeout *= self.config.backoff
         pending.timer = self.context.loop.call_after(
             pending.timeout, self._timeout_fired, request_id
@@ -273,10 +291,50 @@ class RkomService:
                             host=self.st.host.name, reason="no-channel",
                         )
                     pending.future.set_exception(error)
+            self.on_channel_event.fire(peer_host, "failed")
             return
         channel.state = "ready"
+        for rms in (channel.low, channel.high):
+            rms.on_failure.listen(
+                lambda _rms, reason, p=peer_host, c=channel:
+                    self._channel_failed(p, c, reason)
+            )
+        self.on_channel_event.fire(peer_host, "ready")
         for action in waiters:
             action(channel)
+
+    def _resend_if_pending(self, request_id: int, channel: _Channel) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        try:
+            channel.high.send(pending.frame)
+        except RmsFailedError:
+            pass
+
+    def _channel_failed(self, peer_host: str, channel: _Channel, reason: str) -> None:
+        """An RMS of a ready channel failed: forget the channel.
+
+        Pending calls keep their retransmission timers; the next timeout
+        re-establishes the channel and retransmits, so a transient
+        network outage costs retries rather than failed calls.
+        """
+        current = self._channels.get(peer_host)
+        if current is not channel or channel.state != "ready":
+            return
+        channel.state = "none"
+        channel.low = None
+        channel.high = None
+        self.context.tracer.record(
+            "rkom", "channel_failed", host=self.st.host.name, peer=peer_host,
+            reason=reason,
+        )
+        obs = self.context.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "rkom_channel_failures", host=self.st.host.name
+            ).inc()
+        self.on_channel_event.fire(peer_host, "failed")
 
     # ------------------------------------------------------------------
     # Server side
@@ -365,13 +423,23 @@ class RkomService:
 
         def send(channel: _Channel) -> None:
             rms = channel.high if retransmit else channel.low
-            rms.send(frame)
+            try:
+                rms.send(frame)
+            except RmsFailedError:
+                pass  # the client retransmits; the reply cache re-serves
 
         self._with_channel(peer_host, send)
 
     def _send_ack(self, peer_host: str, request_id: int) -> None:
         frame = _HEADER.pack(_KIND_ACK, request_id, 0)
-        self._with_channel(peer_host, lambda channel: channel.high.send(frame))
+
+        def send(channel: _Channel) -> None:
+            try:
+                channel.high.send(frame)
+            except RmsFailedError:
+                pass
+
+        self._with_channel(peer_host, send)
 
     def _trim_cache(self) -> None:
         while len(self._served) > self.config.reply_cache_size:

@@ -27,7 +27,7 @@ from repro.core.message import Message
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.errors import ParameterError, TransportError
 from repro.sim.context import SimContext
-from repro.sim.events import EventHandle
+from repro.sim.events import EventHandle, Signal
 from repro.sim.ports import FlowControlledPort, Port
 from repro.sim.process import Future
 from repro.subtransport.st import SubtransportLayer
@@ -129,6 +129,9 @@ class StreamSession:
         self._retransmit_timer: Optional[EventHandle] = None
         self._retransmit_count = 0
         self.failed: Optional[str] = None
+        #: Fired once, with (session, reason), when the stream fails.
+        #: The resilience layer listens here to salvage and re-open.
+        self.on_failed: Signal = Signal(context.loop)
         self.tx_port: Optional[FlowControlledPort] = None
         if config.flow_control.has_sender_fc:
             self.tx_port = FlowControlledPort(
@@ -316,6 +319,26 @@ class StreamSession:
         self.failed = reason
         if self._retransmit_timer is not None:
             self._retransmit_timer.cancel()
+        self.on_failed.fire(self, reason)
+
+    def salvage_unsent(self) -> list:
+        """Payloads not known to be delivered, in send order.
+
+        Used when a failed session is replaced by a fresh one on a
+        recovered path: unacknowledged in-flight messages first, then
+        anything still queued in the sender-side IPC port.  Re-sending
+        them is at-least-once -- an ack lost in the failure window means
+        the receiver may see a duplicate.
+        """
+        salvaged = [self.tx_unacked[seq] for seq in sorted(self.tx_unacked)]
+        if self.tx_port is not None:
+            salvaged.extend(self.tx_port.drain())
+            while self.tx_port._putters:
+                payload, put_future = self.tx_port._putters.popleft()
+                salvaged.append(payload)
+                if not put_future.done:
+                    put_future.set_result(None)
+        return salvaged
 
     # -- acks arriving at the sender ----------------------------------------
 
@@ -413,11 +436,27 @@ class StreamSession:
         return future
 
     def _consumed(self, future: Future) -> None:
-        payload = future.result()
+        self._mark_consumed(future.result())
+
+    def _mark_consumed(self, payload: bytes) -> None:
         self.rx_buffered_bytes = max(0, self.rx_buffered_bytes - len(payload))
         if self.config.flow_control.has_receiver_fc:
             self.rx_pending_grant += len(payload)
             self._maybe_send_ack(force=True)
+
+    def drain_to(self, callback) -> None:
+        """Deliver every received message to ``callback`` as it arrives.
+
+        Messages count as consumed immediately (credit returns to the
+        sender), letting a supervising session relay delivery across
+        re-established incarnations through one stable port.
+        """
+
+        def handler(payload: bytes) -> None:
+            self._mark_consumed(payload)
+            callback(payload)
+
+        self.rx_port.set_handler(handler)
 
     def _maybe_send_ack(self, force: bool = False) -> None:
         if self.ack_rms is None:

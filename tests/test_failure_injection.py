@@ -9,9 +9,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.core.params import (
+    DelayBound,
+    DelayBoundType,
+    RmsParams,
+    is_compatible,
+)
 from repro.dash.system import DashSystem
 from repro.errors import RmsFailedError
+from repro.resilience import ResiliencePolicy, SessionState
 from repro.transport.stream import StreamConfig
 
 
@@ -20,6 +26,21 @@ def lan_system(seed=51, **kwargs):
     system.add_ethernet(trusted=True, **kwargs)
     system.add_node("a")
     system.add_node("b")
+    return system
+
+
+def multihomed_system(seed=53, wan_guarantees=True):
+    """Two nodes on a LAN (primary) plus a routed WAN (secondary)."""
+    system = DashSystem(seed=seed)
+    system.add_ethernet(name="lan", trusted=True)
+    wan = system.add_internet(
+        name="wan", trusted=True, supports_guarantees=wan_guarantees
+    )
+    system.add_node("a")
+    system.add_node("b")
+    wan.add_router("g1")
+    wan.add_link("a", "g1", bandwidth=2.5e5, propagation_delay=0.002)
+    wan.add_link("g1", "b", bandwidth=2.5e5, propagation_delay=0.002)
     return system
 
 
@@ -202,6 +223,131 @@ class TestCpuSaturation:
         hog_process.stop()
         # EDF lets the tighter-deadline ST stages through the hog's work.
         assert len(got) == 10
+
+
+class TestSupervisedResilience:
+    """Resilience layer on top of failure injection: failover, degrade."""
+
+    @staticmethod
+    def _params(capacity=8192, mms=512):
+        return RmsParams(
+            capacity=capacity,
+            max_message_size=mms,
+            delay_bound=DelayBound(0.5, 1e-4),
+            delay_bound_type=DelayBoundType.BEST_EFFORT,
+        )
+
+    def test_supervised_session_fails_over_to_secondary_network(self):
+        system = multihomed_system()
+        params = self._params()
+        session = system.connect(
+            "a", "b", desired=params, acceptable=params,
+            port="failover", resilience=ResiliencePolicy(),
+        )
+        system.run(until=system.now + 2.0)
+        rms = session.established.result()
+        assert rms.binding.network_rms.network.name == "lan"
+        got = []
+        session.port.set_handler(got.append)
+        states = []
+        session.on_state_change.listen(
+            lambda s, old, new, reason: states.append(new)
+        )
+        system.networks["lan"].segment.set_down()
+        system.run(until=system.now + 0.2)
+        # In-flight client traffic during the outage is queued, not lost.
+        for index in range(3):
+            session.send(bytes([index]) * 256)
+        system.run(until=system.now + 10.0)
+        assert session.is_up
+        assert session.rms.binding.network_rms.network.name == "wan"
+        assert len(got) == 3
+        assert SessionState.RE_ESTABLISHING in states
+        assert session.stats.failovers >= 1
+        assert session.stats.recoveries >= 1
+
+    def test_weaker_parameter_set_survives_renegotiation(self):
+        """Desired DETERMINISTIC degrades to the best-effort floor when
+        the only surviving network cannot offer guarantees."""
+        system = multihomed_system(wan_guarantees=False)
+        desired = RmsParams(
+            capacity=8192,
+            max_message_size=512,
+            delay_bound=DelayBound(0.25, 1e-4),
+            delay_bound_type=DelayBoundType.DETERMINISTIC,
+        )
+        floor = self._params(capacity=2048)
+        session = system.connect(
+            "a", "b", desired=desired, acceptable=floor,
+            port="degrade", resilience=ResiliencePolicy(),
+        )
+        system.run(until=system.now + 2.0)
+        first = session.established.result()
+        assert is_compatible(first.params, desired)
+        assert session.state is SessionState.UP
+        got = []
+        session.port.set_handler(got.append)
+        system.networks["lan"].segment.set_down()
+        system.run(until=system.now + 10.0)
+        assert session.state is SessionState.DEGRADED
+        assert session.rms.binding.network_rms.network.name == "wan"
+        actual = session.rms.params
+        assert actual.delay_bound_type == DelayBoundType.BEST_EFFORT
+        assert is_compatible(actual, floor)
+        assert not is_compatible(actual, desired)
+        session.send(b"still flowing")
+        system.run(until=system.now + 2.0)
+        assert len(got) == 1
+
+    def test_unsupervised_session_fails_terminally(self):
+        system = multihomed_system()
+        params = self._params()
+        session = system.connect(
+            "a", "b", desired=params, acceptable=params, port="bare"
+        )
+        system.run(until=system.now + 2.0)
+        assert session.established.done and not session.established.failed
+        system.networks["lan"].segment.set_down()
+        system.run(until=system.now + 10.0)
+        assert session.state is SessionState.FAILED
+        with pytest.raises(RmsFailedError):
+            session.send(b"too late")
+
+    def test_supervisor_retries_through_transient_outage_on_single_network(self):
+        """No alternate network: backoff keeps trying until the segment
+        heals, then the session recovers on the same network."""
+        system = lan_system(seed=54)
+        params = self._params()
+        session = system.connect(
+            "a", "b", desired=params, acceptable=params,
+            port="heal", resilience=ResiliencePolicy(max_attempts=12),
+        )
+        system.run(until=system.now + 2.0)
+        session.established.result()
+        got = []
+        session.port.set_handler(got.append)
+        segment = system.networks["ether0"].segment
+        segment.set_down()
+        system.run(until=system.now + 0.5)
+        session.send(b"queued during outage")
+        system.context.loop.call_after(1.5, segment.set_up)
+        system.run(until=system.now + 20.0)
+        assert session.is_up
+        assert session.stats.recoveries >= 1
+        assert len(got) == 1
+
+    def test_supervisor_gives_up_after_max_attempts(self):
+        system = lan_system(seed=55)
+        system.networks["ether0"].segment.set_down()
+        params = self._params()
+        session = system.connect(
+            "a", "b", desired=params, acceptable=params,
+            port="doomed",
+            resilience=ResiliencePolicy(max_attempts=2, backoff_cap=0.2),
+        )
+        system.run(until=system.now + 60.0)
+        assert session.state is SessionState.FAILED
+        assert session.established.done and session.established.failed
 
 
 class TestControlPlaneResilience:

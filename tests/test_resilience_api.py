@@ -1,0 +1,422 @@
+"""The unified session API and its resilience machinery.
+
+Covers the ``DashSystem.connect`` facade for every session kind, the
+deprecated entry points (forwarding semantics plus the exactly-once
+``DeprecationWarning`` contract), RMS lifetime conveniences, the
+``RmsRequest`` creation shape, the resilience policy / degradation
+ladder, chaos schedules, and session continuity for streams and RKOM.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.params import (
+    DelayBound,
+    DelayBoundType,
+    RmsParams,
+    RmsRequest,
+    is_compatible,
+)
+from repro.dash._deprecation import reset_deprecation_warnings
+from repro.dash.system import DashSystem
+from repro.errors import NetworkError, ParameterError, RmsFailedError
+from repro.netsim.chaos import ChaosSchedule
+from repro.resilience import (
+    ResiliencePolicy,
+    SessionState,
+    degradation_ladder,
+)
+from repro.transport.stream import StreamConfig, StreamSession
+
+
+def lan_system(seed=61, **kwargs):
+    system = DashSystem(seed=seed)
+    system.add_ethernet(trusted=True, **kwargs)
+    system.add_node("a")
+    system.add_node("b")
+    return system
+
+
+def be_params(capacity=8192, mms=512):
+    return RmsParams(
+        capacity=capacity,
+        max_message_size=mms,
+        delay_bound=DelayBound(0.5, 1e-4),
+        delay_bound_type=DelayBoundType.BEST_EFFORT,
+    )
+
+
+class TestConnectFacade:
+    def test_st_session_roundtrip(self):
+        system = lan_system()
+        params = be_params()
+        session = system.connect(
+            "a", "b", desired=params, acceptable=params, port="app"
+        )
+        assert session.kind == "st"
+        assert session.state is SessionState.ESTABLISHING
+        system.run(until=system.now + 2.0)
+        rms = session.established.result()
+        assert is_compatible(rms.params, params)
+        assert session.state is SessionState.UP
+        got = []
+        session.port.set_handler(got.append)
+        session.send(b"over the facade")
+        system.run(until=system.now + 1.0)
+        assert len(got) == 1
+        assert session.stats.messages_sent == 1
+
+    def test_accepts_node_objects_and_request_form(self):
+        system = lan_system()
+        request = RmsRequest(desired=be_params(), acceptable=be_params(2048))
+        session = system.connect(
+            system.nodes["a"], system.nodes["b"], request=request, port="obj"
+        )
+        system.run(until=system.now + 2.0)
+        assert session.established.done and not session.established.failed
+        assert session.request is request
+
+    def test_stream_session_resolves_to_raw_stream(self):
+        system = lan_system()
+        session = system.connect("a", "b", kind="stream")
+        system.run(until=system.now + 2.0)
+        stream = session.established.result()
+        assert isinstance(stream, StreamSession)
+        assert session.state is SessionState.UP
+
+    def test_stream_config_derived_from_desired_params(self):
+        system = lan_system()
+        desired = be_params(capacity=4096, mms=400)
+        session = system.connect("a", "b", kind="stream", desired=desired)
+        assert session.config.data_capacity == 4096
+        assert session.config.data_max_message == 400
+
+    def test_rkom_session_is_shared_per_pair(self):
+        system = lan_system()
+        system.nodes["b"].rkom.register_handler("echo", lambda p, s: p)
+        first = system.connect("a", "b", kind="rkom")
+        second = system.connect("a", "b", kind="rkom")
+        assert first is second
+        reply = first.call("echo", b"ping")
+        system.run(until=system.now + 2.0)
+        assert reply.result() == b"ping"
+        first.close()
+        third = system.connect("a", "b", kind="rkom")
+        assert third is not first
+
+    def test_rkom_rejects_rms_parameters(self):
+        system = lan_system()
+        with pytest.raises(ParameterError):
+            system.connect("a", "b", kind="rkom", desired=be_params())
+
+    def test_unknown_kind_and_unknown_node_raise(self):
+        system = lan_system()
+        with pytest.raises(ParameterError):
+            system.connect("a", "b", kind="telepathy")
+        with pytest.raises(NetworkError):
+            system.connect("a", "nobody", desired=be_params())
+
+    def test_session_context_manager_closes_idempotently(self):
+        system = lan_system()
+        params = be_params()
+        with system.connect(
+            "a", "b", desired=params, acceptable=params, port="cm"
+        ) as session:
+            system.run(until=system.now + 2.0)
+            assert session.is_up
+        assert session.state is SessionState.CLOSED
+        session.close()  # idempotent
+        assert session.state is SessionState.CLOSED
+        with pytest.raises(RmsFailedError):
+            session.send(b"closed")
+
+
+class TestDeprecatedEntryPoints:
+    def test_create_st_rms_shim_forwards_and_preserves_contract(self):
+        reset_deprecation_warnings()
+        system = lan_system()
+        params = be_params()
+        with pytest.warns(DeprecationWarning):
+            future = system.nodes["a"].create_st_rms(
+                "b", port="shim", desired=params, acceptable=params
+            )
+        system.run(until=system.now + 2.0)
+        rms = future.result()
+        got = []
+        rms.port.set_handler(got.append)
+        rms.send(b"legacy path")
+        system.run(until=system.now + 1.0)
+        assert len(got) == 1
+
+    def test_open_stream_shim_forwards(self):
+        reset_deprecation_warnings()
+        system = lan_system()
+        with pytest.warns(DeprecationWarning):
+            future = system.open_stream("a", "b", StreamConfig())
+        system.run(until=system.now + 2.0)
+        assert isinstance(future.result(), StreamSession)
+
+    def test_call_shim_forwards(self):
+        reset_deprecation_warnings()
+        system = lan_system()
+        system.nodes["b"].rkom.register_handler("echo", lambda p, s: p)
+        with pytest.warns(DeprecationWarning):
+            reply = system.nodes["a"].call(system.nodes["b"], "echo", b"hi")
+        system.run(until=system.now + 2.0)
+        assert reply.result() == b"hi"
+
+    def test_each_entry_point_warns_exactly_once(self):
+        reset_deprecation_warnings()
+        system = lan_system()
+        system.nodes["b"].rkom.register_handler("echo", lambda p, s: p)
+        params = be_params()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            system.nodes["a"].create_st_rms(
+                "b", port="w1", desired=params, acceptable=params
+            )
+            system.nodes["a"].create_st_rms(
+                "b", port="w2", desired=params, acceptable=params
+            )
+            system.open_stream("a", "b")
+            system.open_stream("a", "b")
+            system.nodes["a"].call("b", "echo", b"x")
+            system.nodes["a"].call("b", "echo", b"y")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 3  # one per distinct entry point
+
+
+class TestRmsLifecycle:
+    def test_rms_close_is_idempotent(self):
+        system = lan_system()
+        params = be_params()
+        session = system.connect(
+            "a", "b", desired=params, acceptable=params, port="life"
+        )
+        system.run(until=system.now + 2.0)
+        rms = session.established.result()
+        assert rms.is_open
+        rms.close()
+        assert not rms.is_open
+        rms.close()  # second close is a no-op
+        with pytest.raises(RmsFailedError):
+            rms.send(b"closed")
+
+    def test_rms_context_manager(self):
+        system = lan_system()
+        params = be_params()
+        session = system.connect(
+            "a", "b", desired=params, acceptable=params, port="ctx"
+        )
+        system.run(until=system.now + 2.0)
+        with session.established.result() as rms:
+            assert rms.is_open
+        assert not rms.is_open
+
+
+class TestRmsRequest:
+    def test_of_rejects_both_forms(self):
+        with pytest.raises(ParameterError):
+            RmsRequest.of(desired=be_params(), request=RmsRequest())
+
+    def test_of_passes_request_through(self):
+        request = RmsRequest(desired=be_params())
+        assert RmsRequest.of(request=request) is request
+
+    def test_floor_defaults_to_desired(self):
+        desired = be_params()
+        assert RmsRequest(desired=desired).floor is desired
+        floor = be_params(2048)
+        assert RmsRequest(desired=desired, acceptable=floor).floor is floor
+
+
+class TestResiliencePolicy:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ResiliencePolicy(max_attempts=0)
+        with pytest.raises(ParameterError):
+            ResiliencePolicy(jitter=1.5)
+        with pytest.raises(ParameterError):
+            ResiliencePolicy(backoff_factor=0.5)
+
+    def test_backoff_grows_to_cap_within_jitter_envelope(self):
+        import random
+
+        policy = ResiliencePolicy()
+        rng = random.Random(7)
+        previous_nominal = 0.0
+        for failures in range(8):
+            nominal = min(
+                policy.backoff_cap,
+                policy.backoff_initial * policy.backoff_factor ** failures,
+            )
+            delay = policy.backoff_delay(failures, rng)
+            assert nominal * (1 - policy.jitter) - 1e-12 <= delay
+            assert delay <= nominal * (1 + policy.jitter) + 1e-12
+            assert nominal >= previous_nominal
+            previous_nominal = nominal
+
+    def test_degradation_ladder_walks_toward_floor(self):
+        desired = RmsParams(
+            capacity=32768,
+            max_message_size=1024,
+            delay_bound=DelayBound(0.05, 1e-5),
+            delay_bound_type=DelayBoundType.DETERMINISTIC,
+        )
+        floor = RmsParams(
+            capacity=4096,
+            max_message_size=1024,
+            delay_bound=DelayBound.unbounded(),
+            delay_bound_type=DelayBoundType.BEST_EFFORT,
+        )
+        rungs = degradation_ladder(RmsRequest(desired, floor), max_rungs=4)
+        assert rungs[0].desired == desired
+        assert all(rung.floor == floor for rung in rungs)
+        for earlier, later in zip(rungs, rungs[1:]):
+            # Each rung is strictly weaker: the earlier desired set would
+            # satisfy a request for the later one, never vice versa.
+            assert is_compatible(earlier.desired, later.desired)
+            assert not is_compatible(later.desired, earlier.desired)
+        assert rungs[-1].desired.capacity >= floor.capacity
+        assert rungs[-1].desired.delay_bound_type == DelayBoundType.BEST_EFFORT
+
+    def test_ladder_is_single_rung_when_no_floor_slack(self):
+        desired = be_params()
+        rungs = degradation_ladder(RmsRequest(desired, None))
+        assert len(rungs) == 1
+
+
+class TestChaosSchedule:
+    def test_random_flaps_are_deterministic_per_seed(self):
+        def run(seed):
+            system = lan_system(seed=seed)
+            chaos = ChaosSchedule(system.context, name="det")
+            chaos.random_flaps(
+                system.networks["ether0"].segment,
+                mean_uptime=0.5, mean_downtime=0.2, until=20.0,
+            )
+            system.run(until=25.0)
+            return chaos.log
+
+        first, second = run(99), run(99)
+        assert first and first == second
+        assert run(100) != first
+
+    def test_scripted_flap_and_log(self):
+        system = lan_system()
+        segment = system.networks["ether0"].segment
+        chaos = ChaosSchedule(system.context)
+        chaos.flap_link(segment, down_at=1.0, duration=0.5)
+        system.run(until=1.2)
+        assert not segment.is_up
+        system.run(until=2.0)
+        assert segment.is_up
+        assert [(e.kind, e.time) for e in chaos.log] == [
+            ("link_down", 1.0), ("link_up", 1.5)
+        ]
+
+    def test_partition_cuts_and_heals_reachability(self):
+        system = DashSystem(seed=62)
+        internet = system.add_internet(trusted=True)
+        system.add_node("a")
+        system.add_node("b")
+        internet.add_router("g1")
+        internet.add_link("a", "g1", bandwidth=1e5, propagation_delay=0.002)
+        internet.add_link("g1", "b", bandwidth=1e5, propagation_delay=0.002)
+        chaos = ChaosSchedule(system.context)
+        chaos.partition_at(internet, 1.0, {"a"}, heal_at=2.0)
+        assert internet.can_reach("a", "b")
+        system.run(until=1.5)
+        assert not internet.can_reach("a", "b")
+        system.run(until=2.5)
+        assert internet.can_reach("a", "b")
+        kinds = [e.kind for e in chaos.log]
+        # The cut/heal markers bracket the per-link events they inject.
+        assert kinds[0] == "partition"
+        assert "heal" in kinds
+        assert kinds.count("link_down") == kinds.count("link_up") == 2
+
+    def test_host_pause_defers_delivery_until_resume(self):
+        system = lan_system()
+        params = be_params()
+        session = system.connect(
+            "a", "b", desired=params, acceptable=params, port="pause"
+        )
+        system.run(until=system.now + 2.0)
+        session.established.result()
+        got = []
+        session.port.set_handler(got.append)
+        chaos = ChaosSchedule(system.context)
+        start = system.now
+        chaos.pause_host_at(system.nodes["b"].host, start + 0.1, 0.5)
+        system.context.loop.call_at(start + 0.2, session.send, b"while paused")
+        system.run(until=start + 0.5)
+        assert got == []  # receiver CPU is frozen
+        system.run(until=start + 2.0)
+        assert len(got) == 1
+        assert [e.kind for e in chaos.log] == ["host_pause", "host_resume"]
+
+
+class TestStreamContinuity:
+    def test_supervised_stream_redelivers_salvaged_sends(self):
+        system = lan_system(seed=63)
+        session = system.connect(
+            "a", "b", kind="stream",
+            config=StreamConfig(retransmit_timeout=0.1, max_retransmits=3),
+            resilience=ResiliencePolicy(max_attempts=12),
+        )
+        system.run(until=system.now + 2.0)
+        assert session.is_up
+        got = []
+
+        def arm(future):
+            got.append(future.result())
+            session.receive().add_done_callback(arm)
+
+        session.receive().add_done_callback(arm)
+        for index in range(5):
+            session.send(bytes([index]) * 300)
+        segment = system.networks["ether0"].segment
+        system.context.loop.call_after(0.02, segment.set_down)
+        system.run(until=system.now + 1.0)
+        assert session.state is SessionState.RE_ESTABLISHING
+        for index in range(5, 10):
+            session.send(bytes([index]) * 300)  # queued while down
+        system.context.loop.call_after(1.0, segment.set_up)
+        system.run(until=system.now + 30.0)
+        assert session.is_up
+        assert session.stats.recoveries >= 1
+        # At-least-once across the failure: every distinct payload arrives
+        # (an ack lost in the outage may surface as a duplicate).
+        assert {payload[0] for payload in got} == set(range(10))
+        assert len(got) >= 10
+
+
+class TestRkomContinuity:
+    def test_rkom_session_recovers_channel_after_outage(self):
+        system = lan_system(seed=64)
+        system.nodes["b"].rkom.register_handler("echo", lambda p, s: p)
+        session = system.connect("a", "b", kind="rkom")
+        states = []
+        session.on_state_change.listen(
+            lambda s, old, new, reason: states.append(new)
+        )
+        warm = session.call("echo", b"warm")
+        system.run(until=system.now + 2.0)
+        assert warm.result() == b"warm"
+        assert session.state is SessionState.UP
+        segment = system.networks["ether0"].segment
+        segment.set_down()
+        system.run(until=system.now + 1.0)
+        assert session.state is SessionState.RE_ESTABLISHING
+        segment.set_up()
+        reply = session.call("echo", b"again")
+        system.run(until=system.now + 10.0)
+        assert reply.result() == b"again"
+        assert session.state is SessionState.UP
+        assert SessionState.RE_ESTABLISHING in states
