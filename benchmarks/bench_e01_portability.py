@@ -8,7 +8,7 @@ differences explained entirely by the media.
 
 from __future__ import annotations
 
-from common import Table, build_lan, build_wan, report
+from common import Table, bench_main, build_lan, build_wan, make_run, report
 from repro.apps.rpcload import RpcWorkload
 from repro.transport.stream import StreamConfig
 
@@ -83,5 +83,8 @@ def test_e01_portability(run_once):
     assert inet["goodput_kBps"] < ether["goodput_kBps"]
 
 
+run = make_run("e01_portability", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

@@ -9,7 +9,7 @@ requested properties.
 
 from __future__ import annotations
 
-from common import Table, build_lan, open_st_rms, report
+from common import Table, bench_main, build_lan, make_run, open_st_rms, report
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 
 MESSAGES = 150
@@ -110,5 +110,8 @@ def test_e02_security_elision(run_once):
     )
 
 
+run = make_run("e02_security_elision", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

@@ -9,7 +9,7 @@ rate-enforced sender tracks C/D until the medium saturates.
 
 from __future__ import annotations
 
-from common import Table, build_lan, open_st_rms, report
+from common import Table, bench_main, build_lan, make_run, open_st_rms, report
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.transport.flowcontrol import RateBasedEnforcer
 
@@ -88,5 +88,8 @@ def test_e03_capacity_bandwidth(run_once):
     assert measured == sorted(measured)
 
 
+run = make_run("e03_capacity_bandwidth", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

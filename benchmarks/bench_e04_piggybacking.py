@@ -8,7 +8,7 @@ every message within its ST delay bound.
 
 from __future__ import annotations
 
-from common import Table, build_lan, open_st_rms, report
+from common import Table, bench_main, build_lan, make_run, open_st_rms, report
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.subtransport.config import StConfig
 
@@ -99,5 +99,8 @@ def test_e04_piggybacking(run_once):
     assert on["mean_delay_ms"] < off["mean_delay_ms"] + 25.0
 
 
+run = make_run("e04_piggybacking", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

@@ -14,7 +14,7 @@ fraction and delay percentiles.
 
 from __future__ import annotations
 
-from common import Table, build_lan, open_st_rms, report
+from common import Table, bench_main, build_lan, make_run, open_st_rms, report
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.metrics.stats import summarize
 
@@ -102,5 +102,8 @@ def test_e05_deadline_scheduling(run_once):
     assert edf["bulk_delivered"] > 0.5 * fifo["bulk_delivered"]
 
 
+run = make_run("e05_deadline_scheduling", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

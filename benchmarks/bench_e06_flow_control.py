@@ -14,7 +14,7 @@ buffer overruns; with it, delivery is lossless.
 
 from __future__ import annotations
 
-from common import Table, build_lan, report
+from common import Table, bench_main, build_lan, make_run, report
 from repro.transport.flowcontrol import FlowControlMode
 from repro.transport.stream import StreamConfig
 
@@ -120,5 +120,8 @@ def test_e06_flow_control(run_once):
     assert slow["end-to-end"]["consumed"] == MESSAGES
 
 
+run = make_run("e06_flow_control", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

@@ -9,7 +9,7 @@ peer skip the network setup handshake.
 
 from __future__ import annotations
 
-from common import Table, best_effort_params, build_lan, report
+from common import Table, bench_main, best_effort_params, build_lan, make_run, report
 from repro.subtransport.config import StConfig
 
 SESSIONS = 15
@@ -83,5 +83,8 @@ def test_e07_rms_caching(run_once):
     assert on["mean_rest_ms"] < off["mean_rest_ms"]
 
 
+run = make_run("e07_rms_caching", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

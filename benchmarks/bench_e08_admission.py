@@ -9,7 +9,7 @@ delays degrade without limit as load grows.
 
 from __future__ import annotations
 
-from common import Table, build_lan, report
+from common import Table, bench_main, build_lan, make_run, report
 from repro.core.params import DelayBound, DelayBoundType, RmsParams, StatisticalSpec
 from repro.errors import AdmissionError, NegotiationError
 
@@ -124,5 +124,8 @@ def test_e08_admission(run_once):
     assert best_effort["late_fraction"] >= statistical["late_fraction"]
 
 
+run = make_run("e08_admission", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

@@ -15,7 +15,7 @@ Two claims:
 
 from __future__ import annotations
 
-from common import Table, build_lan, build_wan, open_st_rms, report
+from common import Table, bench_main, build_lan, build_wan, make_run, open_st_rms, report
 from repro.apps.rpcload import RpcWorkload
 from repro.baselines.datagram import DatagramService
 from repro.baselines.rpc import DatagramRpc
@@ -183,7 +183,8 @@ def test_e09_rkom_vs_baselines(run_once):
     assert rpc["achieved_pps"] < 0.5 * rpc["needed_pps"]
 
 
+run = make_run("e09_rkom_vs_baselines", run_experiment, render)
+
+
 if __name__ == "__main__":
-    for table in render(run_experiment()):
-        print(table)
-        print()
+    raise SystemExit(bench_main(run))

@@ -10,7 +10,7 @@ message.  Throughput therefore peaks at an intermediate size.
 
 from __future__ import annotations
 
-from common import Table, build_lan, open_st_rms, report
+from common import Table, bench_main, build_lan, make_run, open_st_rms, report
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 
 TOTAL_BYTES = 600_000
@@ -104,5 +104,8 @@ def test_e10_fragmentation(run_once):
     assert by_size[12_000]["loss_fraction"] > by_size[1_000]["loss_fraction"]
 
 
+run = make_run("e10_fragmentation", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

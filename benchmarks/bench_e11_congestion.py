@@ -12,7 +12,7 @@ and the gateway sheds load by dropping packets that must be retransmitted.
 
 from __future__ import annotations
 
-from common import Table, build_wan, report
+from common import Table, bench_main, build_wan, make_run, report
 from repro.baselines.datagram import DatagramService
 from repro.baselines.tcp import TcpConfig, TcpLikeConnection
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
@@ -169,5 +169,8 @@ def test_e11_congestion(run_once):
     assert tcp["delivery_ratio"] < rms["delivery_ratio"]
 
 
+run = make_run("e11_congestion", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

@@ -9,7 +9,7 @@ network, because providers schedule by the declared deadlines.
 
 from __future__ import annotations
 
-from common import Table, build_lan, open_st_rms, report
+from common import Table, bench_main, build_lan, make_run, open_st_rms, report
 from repro.apps.media import VoiceCall, voice_rms_params
 from repro.apps.rpcload import RpcWorkload
 from repro.apps.window import (
@@ -124,5 +124,8 @@ def test_e12_application_mix(run_once):
     assert result["bulk_goodput_kBps"] > 300
 
 
+run = make_run("e12_application_mix", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

@@ -9,7 +9,7 @@ time until the sender knows everything arrived.
 
 from __future__ import annotations
 
-from common import Table, build_lan, report
+from common import Table, bench_main, build_lan, make_run, report
 from repro.transport.flowcontrol import FlowControlMode
 from repro.transport.stream import StreamConfig, open_stream
 
@@ -93,5 +93,8 @@ def test_e13_fast_ack(run_once):
     assert fast["all_acked_ms"] <= ack_rms["all_acked_ms"] * 1.1
 
 
+run = make_run("e13_fast_ack", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

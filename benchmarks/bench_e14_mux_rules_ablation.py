@@ -12,7 +12,7 @@ capacity clause holds for both, and the voice bound is met with margin.
 
 from __future__ import annotations
 
-from common import Table, build_lan, open_st_rms, report
+from common import Table, bench_main, build_lan, make_run, open_st_rms, report
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.subtransport.config import StConfig
 
@@ -114,5 +114,8 @@ def test_e14_mux_rules_ablation(run_once):
     assert ablated["net_capacity_violations"] > 100
 
 
+run = make_run("e14_mux_rules_ablation", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

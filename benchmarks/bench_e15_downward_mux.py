@@ -10,7 +10,7 @@ when the paths are unequal).
 
 from __future__ import annotations
 
-from common import Table, report
+from common import Table, bench_main, make_run, report
 from repro.core.message import Label
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.netsim.internet import InternetNetwork
@@ -123,5 +123,8 @@ def test_e15_downward_mux(run_once):
     assert unequal["goodput_kBps"] < equal["goodput_kBps"]
 
 
+run = make_run("e15_downward_mux", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

@@ -22,7 +22,7 @@ import time
 import pytest
 
 from bench_e03_capacity_bandwidth import run_capacity
-from common import RESULTS_DIR, Table, report
+from common import RESULTS_DIR, Table, bench_main, make_run, report
 
 CAPACITY = 8_000  # bytes; one point of the E3 sweep
 
@@ -86,5 +86,8 @@ def test_e16_observability(run_once):
     assert payload["spans"]["events"] == result["events"]
 
 
+run = make_run("e16_observability", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import os
 
-from common import RESULTS_DIR, Table, report
+from common import RESULTS_DIR, Table, bench_main, make_run, report
 
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.dash.system import DashSystem
@@ -184,5 +184,8 @@ def test_e17_resilience(run_once):
     assert "chaos_events_total" in payload["metrics"]
 
 
+run = make_run("e17_resilience", run_experiment, render)
+
+
 if __name__ == "__main__":
-    print(render(run_experiment()))
+    raise SystemExit(bench_main(run))

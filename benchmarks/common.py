@@ -8,8 +8,12 @@ pytest with ``-s`` to see them) and appended to
 
 from __future__ import annotations
 
+import argparse
+import inspect
+import json
 import os
-from typing import Any, Dict, Optional
+import time
+from typing import Any, Callable, Dict, Optional
 
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.dash.system import DashSystem
@@ -21,9 +25,11 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 __all__ = [
     "Table",
+    "bench_main",
     "best_effort_params",
     "build_lan",
     "build_wan",
+    "make_run",
     "open_st_rms",
     "report",
 ]
@@ -35,8 +41,9 @@ def report(
     extra: Optional[Dict[str, Any]] = None,
     obs: Optional[Any] = None,
     echo: bool = True,
+    out_dir: Optional[str] = None,
 ) -> str:
-    """Persist bench output under benchmarks/results/.
+    """Persist bench output under benchmarks/results/ (or ``out_dir``).
 
     Writes ``<experiment>.txt`` (the rendered tables, plus the flight
     recorder when an enabled observability facade is passed) and
@@ -49,17 +56,82 @@ def report(
     text = "\n\n".join(parts)
     if echo:
         print("\n" + text)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as handle:
+    results_dir = out_dir or RESULTS_DIR
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, f"{experiment}.txt"), "w") as handle:
         handle.write(text + "\n")
     write_metrics_json(
-        os.path.join(RESULTS_DIR, f"{experiment}.metrics.json"),
+        os.path.join(results_dir, f"{experiment}.metrics.json"),
         obs=obs,
         experiment=experiment,
         tables=tables,
         extra=extra,
     )
     return text
+
+
+def make_run(
+    experiment: str,
+    run_experiment: Callable[..., Any],
+    render: Callable[[Any], Any],
+) -> Callable[..., Dict[str, Any]]:
+    """Build the uniform ``run(seed, out_dir) -> dict`` bench entry point.
+
+    Every ``bench_e*`` module exposes one of these: it runs the
+    experiment, persists the rendered tables plus the machine-readable
+    ``.metrics.json`` snapshot (to ``out_dir`` or the default results
+    directory), and returns a JSON-ready summary dict.  ``seed`` is
+    forwarded to ``run_experiment`` only when its signature takes one;
+    passing ``seed=None`` always reproduces the committed default run.
+    """
+
+    def run(
+        seed: Optional[int] = None,
+        out_dir: Optional[str] = None,
+        echo: bool = False,
+    ) -> Dict[str, Any]:
+        kwargs = {}
+        if seed is not None:
+            if "seed" in inspect.signature(run_experiment).parameters:
+                kwargs["seed"] = seed
+        started = time.time()
+        result = run_experiment(**kwargs)
+        rendered = render(result)
+        elapsed = time.time() - started
+        tables = rendered if isinstance(rendered, tuple) else (rendered,)
+        obs = result.get("obs") if isinstance(result, dict) else None
+        extra: Dict[str, Any] = {"elapsed_s": elapsed}
+        if seed is not None:
+            extra["seed"] = seed
+        report(experiment, *tables, extra=extra, obs=obs, echo=echo,
+               out_dir=out_dir)
+        return {
+            "experiment": experiment,
+            "seed": seed,
+            "elapsed_s": elapsed,
+            "tables": [table.to_payload() for table in tables],
+        }
+
+    run.experiment = experiment
+    return run
+
+
+def bench_main(run: Callable[..., Dict[str, Any]], argv=None) -> int:
+    """Shared CLI for the bench modules: ``python bench_eNN_x.py [...]``."""
+    parser = argparse.ArgumentParser(
+        description=f"Run the {getattr(run, 'experiment', 'bench')} experiment"
+    )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the experiment's baked-in seeds")
+    parser.add_argument("--out-dir", default=None,
+                        help="write results here instead of benchmarks/results/")
+    parser.add_argument("--json", action="store_true",
+                        help="print the summary dict as JSON instead of tables")
+    args = parser.parse_args(argv)
+    summary = run(seed=args.seed, out_dir=args.out_dir, echo=not args.json)
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+    return 0
 
 
 def build_lan(

@@ -3,9 +3,11 @@
 
 Usage:  python benchmarks/run_all.py [e01 e05 ...]
 
-With no arguments, runs E1 through E17 in order.  Each experiment module
-exposes ``run_experiment()`` and ``render(...)``; this runner simply
-chains them, so the output matches what the pytest benches assert on.
+With no arguments, runs E1 through E18 in order.  Each experiment module
+exposes the uniform ``run(seed, out_dir)`` entry point (built by
+``common.make_run``); this runner simply chains them, so the output
+matches what the pytest benches assert on.  For multi-seed sweeps across
+worker processes use ``benchmarks/parallel.py``.
 """
 
 from __future__ import annotations
@@ -35,12 +37,11 @@ EXPERIMENTS = [
     "bench_e15_downward_mux",
     "bench_e16_observability",
     "bench_e17_resilience",
+    "bench_e18_fastpath",
 ]
 
 
 def main(argv) -> int:
-    from common import report
-
     wanted = [arg.lower() for arg in argv[1:]]
     failures = 0
     for name in EXPERIMENTS:
@@ -50,23 +51,15 @@ def main(argv) -> int:
         module = importlib.import_module(name)
         started = time.time()
         try:
-            result = module.run_experiment()
-            rendered = module.render(result)
+            # run() persists the .txt table and the .metrics.json
+            # snapshot for every experiment, exactly like the pytest
+            # benches do.
+            module.run(echo=True)
         except Exception as error:  # noqa: BLE001 - report and continue
             print(f"!! {name} failed: {error}")
             failures += 1
             continue
-        elapsed = time.time() - started
-        tables = rendered if isinstance(rendered, tuple) else (rendered,)
-        # Persist the .txt table and the .metrics.json snapshot for
-        # every experiment, exactly like the pytest benches do.  An
-        # experiment that ran with observability on hands back its obs
-        # handle in the result dict; forward it so the snapshot carries
-        # the metric families and span counts too.
-        obs = result.get("obs") if isinstance(result, dict) else None
-        report(name[len("bench_"):], *tables,
-               extra={"elapsed_s": elapsed}, obs=obs)
-        print(f"[{tag}: {elapsed:.1f}s]\n")
+        print(f"[{tag}: {time.time() - started:.1f}s]\n")
     return 1 if failures else 0
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.errors import ParameterError
 
@@ -47,7 +47,7 @@ class Message:
     measurement metadata, not accounted wire bytes.
     """
 
-    payload: bytes
+    payload: Union[bytes, memoryview]
     source: Optional[Label] = None
     target: Optional[Label] = None
     headers: Dict[str, Any] = field(default_factory=dict)
@@ -58,11 +58,23 @@ class Message:
     message_id: int = field(default_factory=lambda: next(_message_ids))
 
     def __post_init__(self) -> None:
-        if not isinstance(self.payload, (bytes, bytearray, memoryview)):
-            raise ParameterError(
-                f"message payload must be bytes, got {type(self.payload).__name__}"
-            )
-        self.payload = bytes(self.payload)
+        payload = self.payload
+        if type(payload) is bytes:
+            return
+        if isinstance(payload, memoryview):
+            # Zero-copy fast path: the view is adopted as-is.  Ownership
+            # rule (DESIGN.md "Performance"): the sender must not mutate
+            # the underlying buffer until the message is delivered; the
+            # stack materializes to bytes at the client-delivery
+            # boundary and wherever a security transform runs.
+            return
+        if isinstance(payload, bytearray):
+            # Mutable buffers are snapshotted so callers may reuse them.
+            self.payload = bytes(payload)
+            return
+        raise ParameterError(
+            f"message payload must be bytes, got {type(payload).__name__}"
+        )
 
     @property
     def size(self) -> int:

@@ -15,11 +15,18 @@ __all__ = ["reset_deprecation_warnings", "warn_once"]
 _WARNED: Set[str] = set()
 
 
-def warn_once(key: str, message: str) -> None:
+def warn_once(key: str, message: str, stacklevel: int = 2) -> None:
+    """Warn once per ``key``.
+
+    ``stacklevel`` counts from the *shim* that calls this helper, like a
+    direct ``warnings.warn`` there would: the default 2 attributes the
+    warning to the shim's caller (this function adds one frame for
+    itself).
+    """
     if key in _WARNED:
         return
     _WARNED.add(key)
-    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
 
 
 def reset_deprecation_warnings() -> None:

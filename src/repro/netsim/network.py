@@ -21,11 +21,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.message import Label, Message
 from repro.core.negotiation import CapabilityTable, PerformanceLimits, negotiate
+from repro.core.pool import ObjectPool
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.core.rms import Rms, RmsLevel, RmsState
 from repro.errors import NetworkError
 from repro.netsim.admission import AdmissionController
-from repro.netsim.packet import FRAME_OVERHEAD_BYTES, Frame
+from repro.netsim.packet import FRAME_OVERHEAD_BYTES, Frame, next_frame_id
 from repro.netsim.topology import Host
 from repro.sim.context import SimContext
 from repro.sim.events import EventHandle
@@ -85,16 +86,15 @@ class NetworkRms(Rms):
         self.established = False
 
     def _transmit(self, message: Message) -> None:
-        frame = Frame(
+        # Data follows the route the stream was admitted on -- its
+        # reservations live on those links, not on whatever path is
+        # currently shortest.
+        frame = self.network._acquire_data_frame(
             message=message,
             src_host=self.sender.host,
             dst_host=self.receiver.host,
             rms_id=self.rms_id,
-            kind="data",
             deadline=message.deadline if message.deadline is not None else float("inf"),
-            # Data follows the route the stream was admitted on -- its
-            # reservations live on those links, not on whatever path is
-            # currently shortest.
             route=list(self.route),
         )
         self.network._transmit_frame(frame, on_drop=self._frame_dropped)
@@ -149,6 +149,12 @@ class Network:
         self.frames_delivered = 0
         self.frames_corrupted_delivered = 0
         self.setup_count = 0
+        #: Data-frame recycling: with observability off nothing outside
+        #: the network retains a delivered frame, so it is reusable.
+        #: Ethernet sniffers *do* retain frames; registering one flips
+        #: this off (see EthernetNetwork.add_sniffer).
+        self._frame_pool = ObjectPool(cap=256)
+        self._pool_frames = True
 
     # -- topology ---------------------------------------------------------
 
@@ -175,6 +181,59 @@ class Network:
         of timing out on a dead one.
         """
         return src in self.hosts and dst in self.hosts
+
+    # -- frame recycling -----------------------------------------------------
+
+    def _acquire_data_frame(
+        self,
+        message: Message,
+        src_host: str,
+        dst_host: str,
+        rms_id: int,
+        deadline: float,
+        route: List[str],
+    ) -> Frame:
+        """A data frame, recycled from the pool when tracing is off."""
+        if self._pool_frames and not self.context.obs.enabled:
+            frame = self._frame_pool.acquire()
+            if frame is not None:
+                frame.message = message
+                frame.src_host = src_host
+                frame.dst_host = dst_host
+                frame.rms_id = rms_id
+                frame.kind = "data"
+                frame.deadline = deadline
+                frame.route = route
+                frame.hops_taken = 0
+                frame.corrupted = False
+                frame.frame_id = next_frame_id()
+                frame.enqueued_at = None
+                frame.pooled = True
+                return frame
+            frame = Frame(
+                message=message, src_host=src_host, dst_host=dst_host,
+                rms_id=rms_id, kind="data", deadline=deadline, route=route,
+            )
+            frame.pooled = True
+            return frame
+        return Frame(
+            message=message, src_host=src_host, dst_host=dst_host,
+            rms_id=rms_id, kind="data", deadline=deadline, route=route,
+        )
+
+    def _recycle_frame(self, frame: Frame) -> None:
+        """Return a delivered data frame to the pool.
+
+        Only called once the frame's journey is over and nothing outside
+        this network holds it.  Dropped frames are deliberately never
+        recycled (drop listeners may retain them); that is a fallback to
+        GC, not a leak.
+        """
+        if frame.pooled and self._pool_frames:
+            frame.pooled = False
+            frame.message = None  # type: ignore[assignment]
+            frame.route = []
+            self._frame_pool.release(frame)
 
     # -- subclass interface -------------------------------------------------
 
@@ -367,6 +426,7 @@ class Network:
         if frame.kind == "data":
             rms = self._rms_table.get(frame.rms_id)
             if rms is None or rms.state is not RmsState.OPEN:
+                self._recycle_frame(frame)
                 return  # stale traffic for a deleted stream
             self.frames_delivered += 1
             if frame.corrupted:
@@ -381,6 +441,7 @@ class Network:
                         "net_frames_corrupted", network=self.name
                     ).inc()
             rms._frame_arrived(frame)
+            self._recycle_frame(frame)
         elif frame.kind == "setup":
             rms = self._rms_table.get(frame.rms_id)
             if rms is None:

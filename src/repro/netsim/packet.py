@@ -15,12 +15,17 @@ from typing import List, Optional
 
 from repro.core.message import Message
 
-__all__ = ["Frame", "FRAME_OVERHEAD_BYTES"]
+__all__ = ["Frame", "FRAME_OVERHEAD_BYTES", "next_frame_id"]
 
 #: Link framing overhead accounted per frame (preamble, addresses, FCS).
 FRAME_OVERHEAD_BYTES = 18
 
 _frame_ids = itertools.count(1)
+
+
+def next_frame_id() -> int:
+    """A fresh frame id (shared with pooled-frame reinitialization)."""
+    return next(_frame_ids)
 
 
 @dataclass
@@ -38,6 +43,10 @@ class Frame:
     corrupted: bool = False
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     enqueued_at: Optional[float] = None
+    #: True while the frame participates in its network's frame pool
+    #: (set by the acquiring network, cleared on recycle).  Frames built
+    #: directly -- control traffic, tests -- never enter a pool.
+    pooled: bool = False
 
     @property
     def size(self) -> int:

@@ -25,7 +25,13 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.message import Message
-from repro.core.params import RmsRequest, is_compatible
+from repro.core.params import (
+    DelayBound,
+    DelayBoundType,
+    RmsParams,
+    RmsRequest,
+    is_compatible,
+)
 from repro.errors import (
     CapacityError,
     RmsFailedError,
@@ -91,6 +97,7 @@ class Session:
         self.session_id = next(_session_ids)
         self.name = name or f"session{self.session_id}"
         self.policy = policy
+        self._request: Optional[RmsRequest] = None
         self.state = SessionState.ESTABLISHING
         #: Fired with (session, old_state, new_state, reason).
         self.on_state_change: Signal = Signal(context.loop)
@@ -128,6 +135,21 @@ class Session:
     @property
     def is_up(self) -> bool:
         return self.state in (SessionState.UP, SessionState.DEGRADED)
+
+    @property
+    def request(self) -> Optional[RmsRequest]:
+        """The normalized :class:`RmsRequest` behind this session.
+
+        ST sessions carry the request they were opened with; stream
+        sessions derive one from their :class:`StreamConfig` data path;
+        RKOM sessions take their parameters from ``RkomConfig`` and
+        expose ``None``.
+        """
+        return self._request
+
+    @request.setter
+    def request(self, value: Optional[RmsRequest]) -> None:
+        self._request = value
 
     # -- lifetime ----------------------------------------------------------
 
@@ -338,6 +360,28 @@ class StSession(Session, _QueueMixin):
         self._drop_queue()
 
 
+def _stream_data_request(config: StreamConfig) -> RmsRequest:
+    """The request the stream's data RMS will be opened with.
+
+    Mirrors the derivation in :func:`repro.transport.stream.open_stream`
+    so ``session.request`` reports the same desired/acceptable pair the
+    establishment path actually negotiates.
+    """
+    if config.data_delay_bound is not None:
+        bound = DelayBound(config.data_delay_bound, 2e-6)
+        bound_loose = DelayBound(config.data_delay_bound * 2, 1e-5)
+    else:
+        bound = DelayBound.unbounded()
+        bound_loose = DelayBound.unbounded()
+    desired = RmsParams(
+        capacity=config.data_capacity,
+        max_message_size=config.data_max_message,
+        delay_bound=bound,
+        delay_bound_type=DelayBoundType.BEST_EFFORT,
+    )
+    return RmsRequest(desired=desired, acceptable=desired.with_(delay_bound=bound_loose))
+
+
 class TransportSession(Session, _QueueMixin):
     """A supervised (or bare) reliable byte stream.
 
@@ -364,6 +408,7 @@ class TransportSession(Session, _QueueMixin):
         self.sender_st = sender_st
         self.receiver_st = receiver_st
         self.config = config or StreamConfig()
+        self.request = _stream_data_request(self.config)
         self.stream = None
         self._consecutive = 0
         self._rng = context.rng.stream(f"resilience:{self.name}")

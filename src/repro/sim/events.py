@@ -2,29 +2,66 @@
 
 The DASH system of the paper ran on real machines; this reproduction runs
 on a deterministic discrete-event simulator.  :class:`EventLoop` keeps a
-priority queue of timestamped callbacks.  All timing-sensitive behaviour
-in the library (delay bounds, deadlines, retransmission timers, CPU
+timer queue of timestamped callbacks.  All timing-sensitive behaviour in
+the library (delay bounds, deadlines, retransmission timers, CPU
 scheduling) is expressed through this single clock, which makes every
 experiment reproducible bit-for-bit from its random seed.
 
 Times are floats in *seconds* of simulated time.
+
+Implementation: a hybrid calendar-wheel / heap timer queue.  Events due
+*now* (``call_soon`` and ``call_at(now)``) go to a plain FIFO deque --
+the dominant case on the protocol fast path, serviced without any heap
+comparison.  Future events within the wheel horizon are hashed by
+timestamp into one of ``_WHEEL_SLOTS`` per-slot heaps of
+``(time, seq, handle)`` tuples, so ordering comparisons happen on
+C-level tuples rather than via ``EventHandle.__lt__``.  Events beyond
+the horizon wait in a single overflow heap and migrate into the wheel as
+the clock advances.  The dispatch order is the exact total order of the
+original single-heap implementation -- ``(time, seq)`` with FIFO at
+equal timestamps -- so seeded runs reproduce bit-identically.
+
+Cancelled events are removed lazily; when more than a quarter of the
+queued entries are dead the queue compacts in place.  Executed handles
+are recycled through a free pool when the caller kept no reference
+(checked via ``sys.getrefcount``), so steady-state scheduling allocates
+nothing.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+import sys
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import SchedulingError
 
 __all__ = ["EventHandle", "EventLoop", "Signal"]
 
+# Wheel geometry: 512 slots of 1 ms cover a 512 ms horizon, comfortably
+# wider than any single timer used by the protocol stack (propagation
+# delays, retransmission timers, delay bounds are all well under that).
+_WHEEL_SLOTS = 512
+_WHEEL_GRANULARITY = 0.001
+
+# Compaction threshold: rebuild the queue when at least _COMPACT_MIN
+# cancelled entries make up over a quarter of everything queued.
+_COMPACT_MIN = 64
+
+# Handle free-pool bound; beyond this, executed handles are simply
+# dropped for the garbage collector.
+_POOL_CAP = 4096
+
+_getrefcount = getattr(sys, "getrefcount", None)
+
 
 class EventHandle:
     """A cancellable reference to one scheduled callback."""
 
-    __slots__ = ("time", "_seq", "_callback", "_args", "_cancelled")
+    __slots__ = ("time", "_seq", "_callback", "_args", "_cancelled",
+                 "_queued", "_loop")
 
     def __init__(
         self,
@@ -38,12 +75,18 @@ class EventHandle:
         self._callback = callback
         self._args = args
         self._cancelled = False
+        self._queued = False
+        self._loop: Optional["EventLoop"] = None
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
         self._callback = _noop
         self._args = ()
+        if self._queued and self._loop is not None:
+            self._loop._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -73,10 +116,22 @@ class EventLoop:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: List[EventHandle] = []
         self._seq = itertools.count()
         self._running = False
         self._events_run = 0
+        # Timer queue state -- see the module docstring.
+        self._bucket: Deque[EventHandle] = deque()
+        self._slots: List[List[Tuple[float, int, EventHandle]]] = [
+            [] for _ in range(_WHEEL_SLOTS)
+        ]
+        self._far: List[Tuple[float, int, EventHandle]] = []
+        self._gran = _WHEEL_GRANULARITY
+        self._inv_gran = 1.0 / _WHEEL_GRANULARITY
+        self._base = int(self._now * self._inv_gran)
+        self._wheel_count = 0
+        self._queued_count = 0
+        self._cancelled_in_queue = 0
+        self._pool: List[EventHandle] = []
 
     @property
     def now(self) -> float:
@@ -91,18 +146,56 @@ class EventLoop:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        return self._queued_count - self._cancelled_in_queue
+
+    @property
+    def queue_depth(self) -> int:
+        """Total queued entries, including cancelled ones awaiting
+        compaction (introspection for tests and telemetry)."""
+        return self._queued_count
+
+    # -- scheduling ----------------------------------------------------
+
+    def _acquire(
+        self, when: float, callback: Callable[..., None], args: Tuple[Any, ...]
+    ) -> EventHandle:
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = when
+            handle._seq = next(self._seq)
+            handle._callback = callback
+            handle._args = args
+            handle._cancelled = False
+        else:
+            handle = EventHandle(when, next(self._seq), callback, args)
+            handle._loop = self
+        handle._queued = True
+        self._queued_count += 1
+        return handle
 
     def call_at(
         self, when: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
-        if when < self._now:
+        now = self._now
+        if when < now:
             raise SchedulingError(
-                f"cannot schedule event at {when:.6f}, now is {self._now:.6f}"
+                f"cannot schedule event at {when:.6f}, now is {now:.6f}"
             )
-        handle = EventHandle(when, next(self._seq), callback, args)
-        heapq.heappush(self._queue, handle)
+        handle = self._acquire(when, callback, args)
+        if when == now:
+            self._bucket.append(handle)
+        else:
+            slot_no = int(when * self._inv_gran)
+            if slot_no - self._base < _WHEEL_SLOTS:
+                heapq.heappush(
+                    self._slots[slot_no % _WHEEL_SLOTS],
+                    (when, handle._seq, handle),
+                )
+                self._wheel_count += 1
+            else:
+                heapq.heappush(self._far, (when, handle._seq, handle))
         return handle
 
     def call_after(
@@ -116,7 +209,95 @@ class EventLoop:
     def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at the current time, after pending
         same-time events."""
-        return self.call_at(self._now, callback, *args)
+        handle = self._acquire(self._now, callback, args)
+        self._bucket.append(handle)
+        return handle
+
+    # -- queue maintenance ---------------------------------------------
+
+    def _rebase(self) -> None:
+        """Advance the wheel origin to the current time and migrate
+        overflow events that fell inside the horizon."""
+        slot_no = int(self._now * self._inv_gran)
+        if slot_no > self._base:
+            self._base = slot_no
+        far = self._far
+        if far:
+            horizon = self._base + _WHEEL_SLOTS
+            inv_gran = self._inv_gran
+            slots = self._slots
+            while far and int(far[0][0] * inv_gran) < horizon:
+                entry = heapq.heappop(far)
+                heapq.heappush(
+                    slots[int(entry[0] * inv_gran) % _WHEEL_SLOTS], entry
+                )
+                self._wheel_count += 1
+
+    def _note_cancel(self) -> None:
+        self._cancelled_in_queue += 1
+        count = self._cancelled_in_queue
+        if count >= _COMPACT_MIN and count * 4 >= self._queued_count:
+            self._compact()
+
+    def _release(self, dropped: List[EventHandle]) -> None:
+        """Recycle handles nobody else references.  Mutates structures in
+        place only -- safe mid-``run``."""
+        pool = self._pool
+        getref = _getrefcount
+        while dropped:
+            handle = dropped.pop()
+            if (
+                getref is not None
+                and len(pool) < _POOL_CAP
+                and getref(handle) == 2
+            ):
+                pool.append(handle)
+
+    def _compact(self) -> None:
+        """Physically remove cancelled entries.  All containers are
+        filtered in place so references hoisted by a running ``run()``
+        stay valid."""
+        dropped: List[EventHandle] = []
+        bucket = self._bucket
+        if bucket:
+            kept = []
+            for handle in bucket:
+                if handle._cancelled:
+                    handle._queued = False
+                    dropped.append(handle)
+                else:
+                    kept.append(handle)
+            bucket.clear()
+            bucket.extend(kept)
+        wheel_count = 0
+        for slot in self._slots:
+            if not slot:
+                continue
+            live = [entry for entry in slot if not entry[2]._cancelled]
+            if len(live) != len(slot):
+                for entry in slot:
+                    if entry[2]._cancelled:
+                        entry[2]._queued = False
+                        dropped.append(entry[2])
+                slot[:] = live
+                heapq.heapify(slot)
+            wheel_count += len(live)
+        far = self._far
+        if far:
+            live = [entry for entry in far if not entry[2]._cancelled]
+            if len(live) != len(far):
+                for entry in far:
+                    if entry[2]._cancelled:
+                        entry[2]._queued = False
+                        dropped.append(entry[2])
+                far[:] = live
+                heapq.heapify(far)
+        self._wheel_count = wheel_count
+        self._queued_count = len(bucket) + wheel_count + len(far)
+        self._cancelled_in_queue = 0
+        self._release(dropped)
+
+    # -- dispatch ------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events in time order.
@@ -130,26 +311,134 @@ class EventLoop:
             raise SchedulingError("event loop is already running (reentrant run())")
         self._running = True
         executed = 0
+        ran = 0
+        budget = -1 if max_events is None else max_events
+        # Hoisted locals: every container is mutated strictly in place
+        # (including by _compact), so these bindings stay valid across
+        # arbitrary callback re-entry into the scheduler.
+        bucket = self._bucket
+        bucket_popleft = bucket.popleft
+        slots = self._slots
+        far = self._far
+        pool = self._pool
+        getref = _getrefcount
+        heappop = heapq.heappop
+        self._rebase()
         try:
-            while self._queue:
-                if max_events is not None and executed >= max_events:
-                    break
-                handle = self._queue[0]
-                if handle.cancelled:
-                    heapq.heappop(self._queue)
+            while True:
+                now = self._now
+                # Next wheel/overflow event, if any.  The slot hash is
+                # monotone in time, so the first occupied slot from the
+                # wheel origin holds the wheel minimum.
+                nxt_slot = None
+                nxt_time = 0.0
+                if self._wheel_count:
+                    base = self._base
+                    for offset in range(_WHEEL_SLOTS):
+                        slot = slots[(base + offset) % _WHEEL_SLOTS]
+                        if slot:
+                            nxt_slot = slot
+                            nxt_time = slot[0][0]
+                            break
+                if far and (nxt_slot is None or far[0][0] < nxt_time):
+                    nxt_slot = far
+                    nxt_time = far[0][0]
+                    in_far = True
+                else:
+                    in_far = False
+                if nxt_slot is not None and nxt_time <= now:
+                    # Timer events that became due: they predate (in seq
+                    # order) anything in the now-bucket, so drain them
+                    # first.
+                    while nxt_slot and nxt_slot[0][0] <= now:
+                        if ran == budget:
+                            raise _Stop
+                        handle = heappop(nxt_slot)[2]
+                        self._queued_count -= 1
+                        if not in_far:
+                            self._wheel_count -= 1
+                        handle._queued = False
+                        if handle._cancelled:
+                            self._cancelled_in_queue -= 1
+                        else:
+                            handle._callback(*handle._args)
+                            executed += 1
+                            ran += 1
+                            handle._callback = _noop
+                            handle._args = ()
+                        if (
+                            getref is not None
+                            and len(pool) < _POOL_CAP
+                            and getref(handle) == 2
+                        ):
+                            pool.append(handle)
                     continue
-                if until is not None and handle.time > until:
+                if bucket:
+                    # The fast path: call_soon events at the current
+                    # instant, FIFO, no heap involved.
+                    while bucket:
+                        if ran == budget:
+                            raise _Stop
+                        handle = bucket_popleft()
+                        self._queued_count -= 1
+                        handle._queued = False
+                        if handle._cancelled:
+                            self._cancelled_in_queue -= 1
+                        else:
+                            handle._callback(*handle._args)
+                            executed += 1
+                            ran += 1
+                            handle._callback = _noop
+                            handle._args = ()
+                        if (
+                            getref is not None
+                            and len(pool) < _POOL_CAP
+                            and getref(handle) == 2
+                        ):
+                            pool.append(handle)
+                    continue
+                if nxt_slot is None:
                     break
-                heapq.heappop(self._queue)
-                self._now = handle.time
-                handle._run()
-                self._events_run += 1
-                executed += 1
+                if nxt_slot[0][2]._cancelled:
+                    # Discard a dead queue head without advancing the
+                    # clock -- matches the original lazy-cancel heap,
+                    # where skipped events never moved `now`.
+                    handle = heappop(nxt_slot)[2]
+                    self._queued_count -= 1
+                    if not in_far:
+                        self._wheel_count -= 1
+                    self._cancelled_in_queue -= 1
+                    handle._queued = False
+                    if (
+                        getref is not None
+                        and len(pool) < _POOL_CAP
+                        and getref(handle) == 2
+                    ):
+                        pool.append(handle)
+                    continue
+                if until is not None and nxt_time > until:
+                    break
+                if ran == budget:
+                    break
+                self._now = nxt_time
+                self._rebase()
+        except _Stop:
+            pass
         finally:
             self._running = False
+            self._events_run += executed
         if until is not None and self._now < until:
             self._now = until
         return self._now
+
+    def run_until(
+        self, until: float, max_events: Optional[int] = None
+    ) -> float:
+        """Batch-run every event with ``time <= until`` and leave the
+        clock exactly at ``until``.  Equivalent to ``run(until=until)``;
+        the explicit name documents the batching entry point used by the
+        benches."""
+        return self.run(until=until, max_events=max_events)
 
     def run_until_idle(self, max_events: int = 10_000_000) -> float:
         """Run until no events remain.  ``max_events`` guards runaway loops."""
@@ -165,6 +454,10 @@ class EventLoop:
             f"<EventLoop now={self._now:.6f} pending={self.pending_events} "
             f"run={self._events_run}>"
         )
+
+
+class _Stop(Exception):
+    """Internal: unwind the dispatch loop when max_events is reached."""
 
 
 class Signal:

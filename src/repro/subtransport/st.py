@@ -991,10 +991,14 @@ class SubtransportLayer:
             data = StreamCipher(st_rms.session_key).apply(nonce, data)
             flags |= FLAG_ENCRYPTED
         if plan.mac:
+            if type(data) is not bytes:
+                data = bytes(data)
             context = f"{st_rms.sender}|{seq}".encode("utf-8")
             data = data + compute_mac(st_rms.session_key, data, context)
             flags |= FLAG_MAC
         if plan.checksum:
+            if type(data) is not bytes:
+                data = bytes(data)
             data = data + struct.pack(">I", crc32(data))
             flags |= FLAG_CHECKSUM
         return BundleEntry(
@@ -1039,9 +1043,12 @@ class SubtransportLayer:
                 message.trace_id, "st", "enqueue",
                 st=st_rms.name, fragmented=True, total=total,
             )
+        # One view over the client payload; each fragment is a zero-copy
+        # slice of it all the way through encode_bundle's join.
+        payload_view = memoryview(message.payload)
         offset = 0
         while offset < total:
-            chunk = message.payload[offset : offset + chunk_size]
+            chunk = payload_view[offset : offset + chunk_size]
             entry = self._make_entry(
                 st_rms,
                 chunk,
@@ -1095,6 +1102,14 @@ class SubtransportLayer:
         st_rms = rx.st_rms
         plan = st_rms.plan
         data = entry.payload
+        if (
+            entry.flags & (FLAG_CHECKSUM | FLAG_MAC | FLAG_ENCRYPTED)
+            and type(data) is not bytes
+        ):
+            # Security transforms concatenate and compare; materialize
+            # the decoded view once.  The plain (security-elided) path
+            # below stays zero-copy.
+            data = bytes(data)
         if entry.flags & FLAG_CHECKSUM:
             if len(data) < _CHECKSUM_BYTES:
                 self.stats.checksum_drops += 1
@@ -1218,6 +1233,10 @@ class SubtransportLayer:
         st_rms = rx.st_rms
         if st_rms.state is not RmsState.OPEN:
             return
+        if type(payload) is not bytes:
+            # Client-delivery boundary: hand applications real bytes, not
+            # a view pinned to the network message's buffer.
+            payload = bytes(payload)
         message = Message(
             payload, source=st_rms.sender, target=st_rms.receiver
         )

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import TransportError
 
@@ -60,7 +60,11 @@ class BundleEntry:
     st_rms_id: int
     seq: int
     flags: int
-    payload: bytes
+    #: Component bytes.  May be a ``memoryview`` slice of the original
+    #: client payload (send side) or of the received bundle (receive
+    #: side) -- the zero-copy fast path.  Materialized to ``bytes`` only
+    #: where a security transform runs or at client delivery.
+    payload: Union[bytes, memoryview]
     send_time: float
     frag_offset: int = 0
     frag_total: int = 0  # total original-message bytes, 0 if not a fragment
@@ -90,32 +94,51 @@ def encode_bundle(entries: List[BundleEntry]) -> bytes:
     parts = [_BUNDLE_COUNT.pack(len(entries))]
     for entry in entries:
         body = entry.payload
-        if entry.is_fragment:
-            body = _FRAG_HEADER.pack(entry.frag_offset, entry.frag_total) + body
-        parts.append(
-            _SUBHEADER.pack(
-                entry.st_rms_id, entry.seq, entry.flags, len(body), entry.send_time
+        # The fragment prefix is appended as its own part instead of
+        # being concatenated onto the body: ``bytes.join`` accepts
+        # memoryviews, so a fragment slice of the client payload crosses
+        # the encoder without an intermediate copy.
+        if entry.flags & FLAG_FRAGMENT:
+            parts.append(
+                _SUBHEADER.pack(
+                    entry.st_rms_id, entry.seq, entry.flags,
+                    len(body) + FRAG_HEADER_BYTES, entry.send_time,
+                )
             )
-        )
+            parts.append(_FRAG_HEADER.pack(entry.frag_offset, entry.frag_total))
+        else:
+            parts.append(
+                _SUBHEADER.pack(
+                    entry.st_rms_id, entry.seq, entry.flags, len(body),
+                    entry.send_time,
+                )
+            )
         parts.append(body)
     return b"".join(parts)
 
 
 def decode_bundle(data: bytes) -> List[BundleEntry]:
-    """Parse a bundle payload; raises :class:`TransportError` if mangled."""
-    if len(data) < _BUNDLE_COUNT.size:
+    """Parse a bundle payload; raises :class:`TransportError` if mangled.
+
+    Component payloads are returned as ``memoryview`` slices of ``data``
+    (zero-copy); callers that retain a payload past the lifetime of the
+    network message must materialize it with ``bytes()``.
+    """
+    total = len(data)
+    if total < _BUNDLE_COUNT.size:
         raise TransportError("bundle truncated: no count")
     (count,) = _BUNDLE_COUNT.unpack_from(data, 0)
+    view = memoryview(data)
     offset = _BUNDLE_COUNT.size
     entries: List[BundleEntry] = []
     for _ in range(count):
-        if offset + SUBHEADER_BYTES > len(data):
+        if offset + SUBHEADER_BYTES > total:
             raise TransportError("bundle truncated: bad subheader")
         st_rms_id, seq, flags, length, send_time = _SUBHEADER.unpack_from(data, offset)
         offset += SUBHEADER_BYTES
-        if offset + length > len(data):
+        if offset + length > total:
             raise TransportError("bundle truncated: bad component length")
-        body = data[offset : offset + length]
+        body = view[offset : offset + length]
         offset += length
         frag_offset = 0
         frag_total = 0

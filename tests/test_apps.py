@@ -154,9 +154,9 @@ class TestWindowWorkload:
 class TestBulkWorkload:
     def test_bulk_transfer_completes(self):
         system = lan_system()
-        future = system.open_stream("a", "b", StreamConfig())
+        handle = system.connect("a", "b", kind="stream", config=StreamConfig())
         system.run(until=system.now + 2.0)
-        session = future.result()
+        session = handle.established.result()
         transfer = BulkTransfer(
             system.context, session, total_messages=30, message_size=2000
         )

@@ -17,9 +17,9 @@ class TestDashSystem:
         system.add_ethernet(trusted=True)
         node_a = system.add_node("a")
         node_b = system.add_node("b")
-        future = node_a.create_st_rms(node_b, port="app")
+        session = system.connect(node_a, node_b, port="app")
         system.run(until=1.0)
-        rms = future.result()
+        rms = session.established.result()
         got = []
         rms.port.set_handler(got.append)
         rms.send(b"hello DASH")
@@ -32,7 +32,9 @@ class TestDashSystem:
         node_a = system.add_node("a")
         node_b = system.add_node("b")
         node_b.rkom.register_handler("add", lambda p, s: bytes([p[0] + p[1]]))
-        future = node_a.call(node_b, "add", bytes([3, 4]))
+        future = system.connect(node_a, node_b, kind="rkom").call(
+            "add", bytes([3, 4])
+        )
         system.run(until=2.0)
         assert future.result() == bytes([7])
 
@@ -53,9 +55,9 @@ class TestDashSystem:
         system.add_ethernet(trusted=True)
         system.add_node("a")
         system.add_node("b")
-        future = system.open_stream("a", "b", StreamConfig())
+        session = system.connect("a", "b", kind="stream", config=StreamConfig())
         system.run(until=2.0)
-        session = future.result()
+        assert session.is_up
         received = []
 
         def consumer():
@@ -102,7 +104,8 @@ class TestDashSystem:
                                   propagation_delay=0.002)
             node_a, node_b = system.nodes["a"], system.nodes["b"]
             node_b.rkom.register_handler("echo", lambda p, s: p)
-            future = node_a.call(node_b, "echo", b"ping")
+            rkom = system.connect(node_a, node_b, kind="rkom")
+            future = rkom.call("echo", b"ping")
             system.run(until=10.0)
             reports[net_type] = future.result()
         assert reports["ethernet"] == reports["internet"] == b"ping"
@@ -123,9 +126,8 @@ class TestDashSystem:
             node_a = system.add_node("a")
             node_b = system.add_node("b")
             node_b.rkom.register_handler("echo", lambda p, s: p)
-            futures = [
-                node_a.call(node_b, "echo", bytes([i])) for i in range(5)
-            ]
+            rkom = system.connect(node_a, node_b, kind="rkom")
+            futures = [rkom.call("echo", bytes([i])) for i in range(5)]
             system.run(until=20.0)
             return (
                 [f.done and not f.failed for f in futures],
@@ -142,8 +144,9 @@ class TestDashSystem:
             node_a = system.add_node("a")
             node_b = system.add_node("b")
             node_b.rkom.register_handler("echo", lambda p, s: p)
+            rkom = system.connect(node_a, node_b, kind="rkom")
             for index in range(10):
-                node_a.call(node_b, "echo", bytes([index]), timeout=0.2)
+                rkom.call("echo", bytes([index]), timeout=0.2)
             system.run(until=20.0)
             return system.context.loop.events_run
 

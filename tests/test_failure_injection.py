@@ -151,13 +151,13 @@ class TestFailurePropagation:
 class TestStreamFailureRecovery:
     def test_stream_reports_failure_and_rejects_sends(self):
         system = lan_system()
-        future = system.open_stream("a", "b", StreamConfig())
+        session = system.connect("a", "b", kind="stream", config=StreamConfig())
         system.run(until=system.now + 2.0)
-        session = future.result()
+        stream = session.established.result()
         session.send(b"x" * 500)
         system.networks["ether0"].segment.set_down()
         system.run(until=system.now + 1.0)
-        assert session.failed is not None
+        assert stream.failed is not None
         from repro.errors import TransportError
 
         with pytest.raises(TransportError):
@@ -165,11 +165,12 @@ class TestStreamFailureRecovery:
 
     def test_retransmit_timer_stops_after_failure(self):
         system = lan_system()
-        future = system.open_stream(
-            "a", "b", StreamConfig(retransmit_timeout=0.1, max_retransmits=3)
+        session = system.connect(
+            "a", "b", kind="stream",
+            config=StreamConfig(retransmit_timeout=0.1, max_retransmits=3),
         )
         system.run(until=system.now + 2.0)
-        session = future.result()
+        assert session.is_up
         session.send(b"x" * 500)
         system.networks["ether0"].segment.set_down()
         system.run(until=system.now + 5.0)
@@ -180,15 +181,16 @@ class TestStreamFailureRecovery:
 
     def test_reliable_stream_gives_up_on_black_hole(self):
         system = lan_system()
-        future = system.open_stream(
-            "a", "b", StreamConfig(retransmit_timeout=0.1, max_retransmits=3)
+        session = system.connect(
+            "a", "b", kind="stream",
+            config=StreamConfig(retransmit_timeout=0.1, max_retransmits=3),
         )
         system.run(until=system.now + 2.0)
-        session = future.result()
+        stream = session.established.result()
         system.networks["ether0"].segment.impairment.frame_loss_rate = 1.0
         session.send(b"into the void" + b"\x00" * 100)
         system.run(until=system.now + 20.0)
-        assert session.failed == "retransmission limit exceeded"
+        assert stream.failed == "retransmission limit exceeded"
 
 
 class TestCpuSaturation:
@@ -364,12 +366,11 @@ class TestControlPlaneResilience:
     def test_rkom_call_times_out_cleanly_on_dead_network(self):
         system = lan_system()
         system.nodes["b"].rkom.register_handler("echo", lambda p, s: p)
-        warm = system.nodes["a"].call(system.nodes["b"], "echo", b"x")
+        rkom = system.connect("a", "b", kind="rkom")
+        warm = rkom.call("echo", b"x")
         system.run(until=system.now + 2.0)
         assert not warm.failed
         system.networks["ether0"].segment.impairment.frame_loss_rate = 1.0
-        doomed = system.nodes["a"].call(
-            system.nodes["b"], "echo", b"y", timeout=0.05
-        )
+        doomed = rkom.call("echo", b"y", timeout=0.05)
         system.run(until=system.now + 30.0)
         assert doomed.done and doomed.failed

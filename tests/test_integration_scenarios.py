@@ -39,8 +39,8 @@ class TestMultiNetworkCampus:
         system, cs1, cs2, remote = self.build()
         cs2.rkom.register_handler("local", lambda p, s: b"lan:" + p)
         remote.rkom.register_handler("far", lambda p, s: b"wan:" + p)
-        local_call = cs1.call(cs2, "local", b"x")
-        far_call = cs1.call(remote, "far", b"y")
+        local_call = system.connect(cs1, cs2, kind="rkom").call("local", b"x")
+        far_call = system.connect(cs1, remote, kind="rkom").call("far", b"y")
         system.run(until=5.0)
         assert local_call.result() == b"lan:x"
         assert far_call.result() == b"wan:y"

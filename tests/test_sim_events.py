@@ -164,6 +164,80 @@ class TestEventLoop:
         assert seen == [(1, "x")]
 
 
+class TestRunUntil:
+    def test_run_until_matches_run_with_until(self):
+        loop = EventLoop()
+        ran = []
+        loop.call_after(1.0, lambda: ran.append("a"))
+        loop.call_after(3.0, lambda: ran.append("b"))
+        end = loop.run_until(2.0)
+        assert ran == ["a"]
+        assert end == 2.0 == loop.now
+
+    def test_run_until_respects_max_events(self):
+        loop = EventLoop()
+        count = []
+        for _ in range(10):
+            loop.call_after(0.5, lambda: count.append(1))
+        loop.run_until(1.0, max_events=4)
+        assert len(count) == 4
+
+
+class TestCancellationCompaction:
+    def test_cancelled_handles_are_compacted_out(self):
+        # Cancelled events must not sit in the queue indefinitely: once
+        # the dead fraction passes 25% (with a floor of 64), the queue
+        # compacts and queue_depth drops back to the live population.
+        loop = EventLoop()
+        handles = [loop.call_after(1.0 + i * 0.001, lambda: None)
+                   for i in range(300)]
+        assert loop.queue_depth == 300
+        for handle in handles[:100]:
+            handle.cancel()
+        assert loop.pending_events == 200
+        # Compaction ran at least once: dead entries no longer dominate.
+        dead = loop.queue_depth - loop.pending_events
+        assert loop.queue_depth < 300
+        assert dead * 4 <= loop.queue_depth
+
+    def test_small_cancel_counts_stay_lazy(self):
+        loop = EventLoop()
+        handles = [loop.call_after(1.0, lambda: None) for _ in range(10)]
+        handles[0].cancel()
+        # Below the compaction floor the dead entry stays queued...
+        assert loop.queue_depth == 10
+        # ...but is never counted as pending nor executed.
+        assert loop.pending_events == 9
+        loop.run()
+        assert loop.events_run == 9
+
+    def test_order_preserved_across_compaction(self):
+        loop = EventLoop()
+        order = []
+        keep = []
+        cancel = []
+        for i in range(200):
+            when = 1.0 + (i % 50) * 0.01
+            handle = loop.call_at(when, order.append, (when, i))
+            (cancel if i % 2 else keep).append(handle)
+        for handle in cancel:
+            handle.cancel()
+        loop.run()
+        assert order == sorted(order, key=lambda pair: pair[0])
+        assert len(order) == len(keep)
+
+    def test_cancel_after_run_does_not_corrupt_queue(self):
+        loop = EventLoop()
+        handle = loop.call_after(1.0, lambda: None)
+        loop.run()
+        handle.cancel()  # stale cancel on an executed event
+        ran = []
+        loop.call_after(1.0, lambda: ran.append(1))
+        loop.run()
+        assert ran == [1]
+        assert loop.pending_events == 0
+
+
 class TestSignal:
     def test_fire_notifies_all_listeners(self):
         loop = EventLoop()
