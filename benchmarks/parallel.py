@@ -79,13 +79,20 @@ def _select_experiments(tags: List[str]) -> List[str]:
     return chosen
 
 
+def _shard_key(summary: Dict[str, Any]) -> Tuple[str, int]:
+    seed = summary.get("seed")
+    return (summary["experiment"], -1 if seed is None else seed)
+
+
 def _merge(summaries: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Fold per-(experiment, seed) summaries into one report: per-seed
-    runtimes plus cross-seed aggregates."""
+    runtimes plus cross-seed aggregates.
+
+    Shards are sorted by (experiment, seed) before merging, so the
+    report is byte-identical no matter which worker finished first.
+    """
     merged: Dict[str, Any] = {}
-    for summary in sorted(
-        summaries, key=lambda s: (s["experiment"], s.get("seed") or 0)
-    ):
+    for summary in sorted(summaries, key=_shard_key):
         entry = merged.setdefault(
             summary["experiment"], {"seeds": {}, "failures": 0}
         )
@@ -106,7 +113,7 @@ def _merge(summaries: List[Dict[str, Any]]) -> Dict[str, Any]:
         ]
         if elapsed:
             entry["elapsed_mean_s"] = round(sum(elapsed) / len(elapsed), 3)
-            entry["elapsed_max_s"] = max(elapsed)
+            entry["elapsed_max_s"] = round(max(elapsed), 3)
     return merged
 
 
@@ -129,18 +136,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     ]
     workers = max(1, min(args.workers, len(jobs)))
     print(f"running {len(jobs)} shards ({len(experiments)} experiments x "
-          f"{len(seeds)} seeds) on {workers} workers")
+          f"{len(seeds)} seeds) on {workers} workers", flush=True)
 
     summaries: List[Dict[str, Any]] = []
     started = time.time()
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {pool.submit(_run_one, job): job for job in jobs}
-        for future in as_completed(futures):
+        for completed, future in enumerate(as_completed(futures), start=1):
             summary = future.result()
             summaries.append(summary)
             status = "ok" if summary.get("ok") else "FAILED"
-            print(f"  [{status}] {summary['experiment']} "
-                  f"seed={summary.get('seed')} {summary['wall_s']:.1f}s")
+            print(f"  [{completed}/{len(jobs)}] [{status}] "
+                  f"{summary['experiment']} seed={summary.get('seed')} "
+                  f"{summary['wall_s']:.1f}s", flush=True)
 
     merged = _merge(summaries)
     os.makedirs(args.out_dir, exist_ok=True)

@@ -38,6 +38,7 @@ EXPERIMENTS = [
     "bench_e16_observability",
     "bench_e17_resilience",
     "bench_e18_fastpath",
+    "bench_e19_msgpath",
 ]
 
 

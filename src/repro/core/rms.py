@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.message import Label, Message
 from repro.core.params import RmsParams
@@ -120,6 +120,11 @@ class Rms:
         self.on_failure: Signal = Signal(context.loop)
         self.outstanding_bytes = 0
         self._last_delivered_id = 0
+        #: Providers set this to route deliveries through
+        #: :meth:`deliver_fast` (same bookkeeping, gated tracing).
+        self.fast_path = False
+        #: Per-size lateness thresholds memoized by :meth:`deliver_fast`.
+        self._late_threshold: Dict[int, float] = {}
         self.created_at = context.now
         self.closed_at: Optional[float] = None
         self.layer = self.level.layer
@@ -204,6 +209,45 @@ class Rms:
         self._transmit(message)
         return message
 
+    def send_fast(self, message: Message, size: int, deadline: float) -> None:
+        """Hot-path send: a prepared message, precomputed size and deadline.
+
+        Behaviour-identical to :meth:`send` (same stats, same stamps,
+        same transmit) minus the per-call re-derivation; anything
+        unusual -- closed stream, oversized message -- falls back to the
+        full path so every error and edge case stays in one place.
+        """
+        if self.state is not RmsState.OPEN or size > self.params.max_message_size:
+            self.send(message, deadline)
+            return
+        message.send_time = self.context.now
+        message.deadline = deadline
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        self.outstanding_bytes += size
+        violated = self.outstanding_bytes > self.params.capacity
+        if violated:
+            stats.capacity_violations += 1
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.record(
+                "rms", "send", rms=self.name, id=message.message_id, size=size
+            )
+        obs = self.context.obs
+        if obs.enabled:
+            if message.trace_id is None:
+                message.trace_id = obs.spans.new_trace()
+            self._m_sent.inc()
+            self._m_bytes_sent.inc(size)
+            if violated:
+                self._m_violations.inc()
+            obs.spans.event(
+                message.trace_id, self.layer, "send",
+                rms=self.name, size=size,
+            )
+        self._transmit(message)
+
     # -- provider side ----------------------------------------------------
 
     def _transmit(self, message: Message) -> None:
@@ -251,6 +295,69 @@ class Rms:
         self.context.tracer.record(
             "rms", "deliver", rms=self.name, id=message.message_id, delay=delay
         )
+        self.port.deliver(message)
+
+    def deliver_fast(self, message: Message, size: int) -> None:
+        """Hot-path delivery: same bookkeeping as :meth:`_deliver` with
+        the tracer gated on whether it is actually collecting."""
+        if self.state is not RmsState.OPEN:
+            return
+        context = self.context
+        now = context.loop._now
+        send_time = message.send_time
+        message.deliver_time = now
+        outstanding = self.outstanding_bytes - size
+        self.outstanding_bytes = outstanding if outstanding > 0 else 0
+        stats = self.stats
+        stats.messages_delivered += 1
+        stats.bytes_delivered += size
+        late = False
+        if send_time is None:
+            delay = None
+        else:
+            delay = now - send_time
+            stats.delays.append(delay)
+            # Per-size lateness threshold, memoized from the same
+            # ``bound_for`` the legacy path calls (bit-identical floats;
+            # ``inf`` marks an unbounded stream).
+            threshold = self._late_threshold.get(size)
+            if threshold is None:
+                bound = self.params.delay_bound
+                if bound.is_unbounded:
+                    threshold = float("inf")
+                else:
+                    threshold = bound.bound_for(size) + 1e-12
+                self._late_threshold[size] = threshold
+            if delay > threshold:
+                stats.messages_late += 1
+                late = True
+        obs = context.obs
+        if obs.enabled:
+            self._m_delivered.inc()
+            self._m_bytes_delivered.inc(size)
+            if delay is not None:
+                self._m_delay.observe(delay)
+            obs.spans.event(
+                message.trace_id, self.layer, "deliver",
+                rms=self.name, delay=delay,
+            )
+            if late:
+                self._m_late.inc()
+                obs.spans.event(
+                    message.trace_id, self.layer, "late", rms=self.name
+                )
+        message_id = message.message_id
+        tracer = context.tracer
+        if message_id < self._last_delivered_id:
+            tracer.record(
+                "rms", "out_of_order", rms=self.name, id=message_id
+            )
+        else:
+            self._last_delivered_id = message_id
+        if tracer.enabled:
+            tracer.record(
+                "rms", "deliver", rms=self.name, id=message_id, delay=delay
+            )
         self.port.deliver(message)
 
     def _drop(self, message: Message, reason: str) -> None:

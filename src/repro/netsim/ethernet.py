@@ -88,6 +88,14 @@ class EthernetNetwork(Network):
         self._require_host(frame.dst_host)
         self.segment.transmit(frame, deliver=self._medium_delivered, on_drop=on_drop)
 
+    def _transmit_frame_fast(
+        self, frame: Frame, on_drop: Optional[Callable[[Frame, str], None]]
+    ) -> None:
+        # Hosts attach once and never detach, and an open RMS's endpoints
+        # were validated at creation -- the per-frame _require_host checks
+        # of :meth:`_transmit_frame` cannot fail here.
+        self.segment.transmit(frame, deliver=self._medium_delivered, on_drop=on_drop)
+
     def _medium_delivered(self, frame: Frame) -> None:
         # Physical broadcast: every station (including eavesdroppers)
         # sees the frame; only the addressed host processes it.

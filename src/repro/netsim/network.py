@@ -102,13 +102,72 @@ class NetworkRms(Rms):
     def _frame_dropped(self, frame: Frame, reason: str) -> None:
         self._drop(frame.message, reason)
 
+    def send_data_fast(self, message: Message, size: int, deadline: float) -> None:
+        """:meth:`Rms.send_fast` with the frame build fused in.
+
+        Used by the ST fast flusher when observability is off: same
+        stats, same stamps, same frame fields and transmit call as
+        ``send_fast`` -> ``_transmit``, minus one dispatch layer and the
+        keyword-argument frame acquisition.  Anything unusual falls back
+        to the full path.
+        """
+        if self.state is not RmsState.OPEN or size > self.params.max_message_size:
+            self.send(message, deadline)
+            return
+        context = self.context
+        message.send_time = context.loop._now
+        message.deadline = deadline
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        outstanding = self.outstanding_bytes + size
+        self.outstanding_bytes = outstanding
+        if outstanding > self.params.capacity:
+            stats.capacity_violations += 1
+        tracer = context.tracer
+        if tracer.enabled:
+            tracer.record(
+                "rms", "send", rms=self.name, id=message.message_id, size=size
+            )
+        network = self.network
+        pooling = network._pool_frames and not context.obs.enabled
+        if pooling:
+            frame = network._frame_pool.acquire()
+            if frame is not None:
+                frame.message = message
+                frame.src_host = self.sender.host
+                frame.dst_host = self.receiver.host
+                frame.rms_id = self.rms_id
+                frame.kind = "data"
+                frame.deadline = deadline
+                frame.route = list(self.route)
+                frame.hops_taken = 0
+                frame.corrupted = False
+                frame.frame_id = next_frame_id()
+                frame.enqueued_at = None
+                frame.pooled = True
+                frame._size = None
+                network._transmit_frame_fast(frame, self._frame_dropped)
+                return
+        frame = Frame(
+            message=message, src_host=self.sender.host,
+            dst_host=self.receiver.host, rms_id=self.rms_id, kind="data",
+            deadline=deadline, route=list(self.route),
+        )
+        frame.pooled = pooling
+        network._transmit_frame_fast(frame, self._frame_dropped)
+
     def _frame_arrived(self, frame: Frame) -> None:
         """Called by the network when a data frame reaches the receiver."""
         if frame.corrupted and self.network.properties.link_checksum:
             # Hardware checksum: corrupted frames never reach clients.
             self._drop(frame.message, "checksum failure")
             return
-        self._deliver(frame.message)
+        message = frame.message
+        if self.fast_path and not self.context.obs.enabled:
+            self.deliver_fast(message, len(message.payload))
+        else:
+            self._deliver(message)
 
     def close(self) -> None:
         """Tear down through the owning network (releases reservations)."""
@@ -209,6 +268,7 @@ class Network:
                 frame.frame_id = next_frame_id()
                 frame.enqueued_at = None
                 frame.pooled = True
+                frame._size = None  # new message: invalidate cached size
                 return frame
             frame = Frame(
                 message=message, src_host=src_host, dst_host=dst_host,
@@ -241,6 +301,17 @@ class Network:
         self, frame: Frame, on_drop: Optional[Callable[[Frame, str], None]] = None
     ) -> None:
         raise NotImplementedError
+
+    def _transmit_frame_fast(
+        self, frame: Frame, on_drop: Optional[Callable[[Frame, str], None]]
+    ) -> None:
+        """Data-path transmit for frames of an established RMS.
+
+        Media that re-validate per frame may override this to skip
+        checks that cannot fail for an open stream (endpoints were
+        validated at ``create_rms`` and hosts are never detached).
+        """
+        self._transmit_frame(frame, on_drop=on_drop)
 
     def _path_profile(self, src: str, dst: str) -> Tuple[float, float, List[str]]:
         """(fixed seconds, seconds/byte, route node names) for a pair."""

@@ -48,10 +48,19 @@ class Frame:
     #: directly -- control traffic, tests -- never enter a pool.
     pooled: bool = False
 
+    # Cached wire size (unannotated: a plain class attribute, not a
+    # dataclass field).  Valid because nothing resizes a message once a
+    # frame wraps it -- bit corruption preserves length -- and pooled
+    # frames reset it on reinitialization.
+    _size = None
+
     @property
     def size(self) -> int:
         """Accounted bytes on the wire."""
-        return self.message.wire_size + FRAME_OVERHEAD_BYTES
+        size = self._size
+        if size is None:
+            size = self._size = self.message.wire_size + FRAME_OVERHEAD_BYTES
+        return size
 
     def corrupt_payload(self, bit_index: int) -> None:
         """Flip one payload bit in place (the message keeps its size)."""

@@ -111,7 +111,9 @@ class Link:
             if on_drop is not None:
                 on_drop(frame, "link down")
             return False
-        if self._queued_bytes + frame.size > self.buffer_bytes:
+        size = frame.size
+        queued = self._queued_bytes + size
+        if queued > self.buffer_bytes:
             self.stats.frames_dropped_overrun += 1
             self.context.tracer.record(
                 "link", "overrun", link=self.name, frame=frame.frame_id
@@ -121,21 +123,33 @@ class Link:
             if on_drop is not None:
                 on_drop(frame, "buffer overrun")
             return False
-        frame.enqueued_at = self.context.now
-        self._queued_bytes += frame.size
-        self.stats.max_queue_bytes = max(self.stats.max_queue_bytes, self._queued_bytes)
-        self._queue.push((frame, deliver, on_drop), deadline=frame.deadline)
-        if not self._busy:
-            self._start_next()
+        frame.enqueued_at = self.context.loop._now
+        self._queued_bytes = queued
+        if queued > self.stats.max_queue_bytes:
+            self.stats.max_queue_bytes = queued
+        if self._busy or self._queue:
+            self._queue.push((frame, deliver, on_drop), deadline=frame.deadline)
+        else:
+            # Idle link, empty interface queue: start transmitting
+            # directly (any policy pops a singleton heap identically).
+            self._begin(frame, deliver, on_drop)
         return True
 
     def _start_next(self) -> None:
         if self._busy or not self._queue or not self._up:
             return
         frame, deliver, on_drop = self._queue.pop()
+        self._begin(frame, deliver, on_drop)
+
+    def _begin(
+        self,
+        frame: Frame,
+        deliver: Callable[[Frame], None],
+        on_drop: Optional[Callable[[Frame, str], None]],
+    ) -> None:
         self._busy = True
         self.context.loop.call_after(
-            self.transmission_time(frame.size),
+            frame.size / self.bandwidth,
             self._transmission_done,
             frame,
             deliver,

@@ -23,6 +23,7 @@ from repro.core.params import RmsRequest, is_compatible
 from repro.errors import AdmissionError, NegotiationError
 from repro.resilience.policy import ResiliencePolicy, degradation_ladder
 from repro.sim.context import SimContext
+from repro.sim.events import TimerGroup
 from repro.sim.process import Future
 from repro.subtransport.st import SubtransportLayer
 
@@ -97,6 +98,9 @@ class RmsSupervisor:
         self._current_network: Optional[str] = None
         self._avoid_network: Optional[str] = None
         self._rng = context.rng.stream(f"resilience:{name}")
+        #: Backoff retries share one coalesced loop timer; ``stop``
+        #: cancels any in-flight retry outright via ``cancel_all``.
+        self._timers = TimerGroup(context.loop)
 
     # ------------------------------------------------------------------
 
@@ -106,6 +110,7 @@ class RmsSupervisor:
     def stop(self) -> None:
         """Detach; a live RMS is left to the owning session to close."""
         self._closed = True
+        self._timers.cancel_all()
         self.st.set_network_preference(self.peer_host, None)
 
     # ------------------------------------------------------------------
@@ -188,7 +193,7 @@ class RmsSupervisor:
         self._note(
             "retry", f"attempt {self._consecutive + 1} in {delay:.3f}s ({error})"
         )
-        self.context.loop.call_after(delay, self._attempt)
+        self._timers.call_after(delay, self._attempt)
 
     def _established(self, rms) -> None:
         self._consecutive = 0

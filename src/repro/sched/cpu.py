@@ -15,7 +15,7 @@ for checksumming, encryption, and per-message protocol overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.context import SimContext
 from repro.sched.policies import ReadyQueue, make_queue
@@ -66,7 +66,14 @@ class WorkItem:
     name: str
     cpu_time: float
     deadline: float
-    callback: Callable[[], None]
+    callback: Callable[..., None]
+    #: Positional arguments for ``callback`` -- the fast path passes the
+    #: stage state here instead of closing over it in a lambda.
+    args: Tuple[Any, ...] = ()
+    #: Context-switch accounting owner.  ``None`` means "derive from the
+    #: name prefix" (everything before the first ``/``); the fast path
+    #: passes it explicitly to skip the per-dispatch string split.
+    owner: Optional[str] = None
     priority: int = 0
     submitted_at: float = 0.0
     started_at: Optional[float] = None
@@ -168,6 +175,52 @@ class HostCpu:
             trace_id=trace_id,
         )
 
+    def submit_fast(
+        self,
+        name: str,
+        cpu_time: float,
+        deadline: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        owner: Optional[str] = None,
+        trace_id: Optional[int] = None,
+    ) -> WorkItem:
+        """Hot-path submit: precomputed cost, positional-args callback.
+
+        Identical scheduling semantics to :meth:`submit`; the stage
+        state travels in ``args`` (no closure allocation), ``owner``
+        skips the name split at dispatch, and tracing is only recorded
+        when the tracer is actually collecting.
+        """
+        item = WorkItem(
+            name=name,
+            cpu_time=cpu_time,
+            deadline=deadline,
+            callback=callback,
+            args=args,
+            owner=owner,
+            submitted_at=self.context.loop._now,
+            trace_id=trace_id,
+        )
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.record(
+                "cpu", "submit", cpu=self.name, item=name, deadline=deadline
+            )
+        obs = self.context.obs
+        if obs.enabled:
+            obs.spans.event(trace_id, "cpu", "enqueue", cpu=self.name, item=name)
+        if self._busy or self._paused or self._queue:
+            # Push/pop through the policy heap only when the item has
+            # company; an idle CPU starts its only item directly (any
+            # policy pops a singleton heap identically).
+            self._queue.push(item, deadline=deadline, priority=0)
+            if not self._busy:
+                self._dispatch()
+        else:
+            self._begin(item)
+        return item
+
     @property
     def queue_length(self) -> int:
         return len(self._queue)
@@ -194,52 +247,62 @@ class HostCpu:
     def _dispatch(self) -> None:
         if self._busy or self._paused or not self._queue:
             return
-        item = self._queue.pop()
+        self._begin(self._queue.pop())
+
+    def _begin(self, item: WorkItem) -> None:
+        context = self.context
         self._busy = True
-        item.started_at = self.context.now
-        owner = item.name.split("/", 1)[0]
+        item.started_at = context.loop._now
+        owner = item.owner
+        if owner is None:
+            owner = item.name.split("/", 1)[0]
         run_time = item.cpu_time
         if self._charge_switches and owner != self._last_owner:
             run_time += self.costs.per_context_switch
             self.context_switches += 1
         self._last_owner = owner
-        obs = self.context.obs
+        obs = context.obs
         if obs.enabled:
             obs.spans.event(
                 item.trace_id, "cpu", "dequeue", cpu=self.name, item=item.name
             )
-        self.context.loop.call_after(run_time, self._finish, item, run_time)
+        context.loop.call_after(run_time, self._finish, item, run_time)
 
     def _finish(self, item: WorkItem, run_time: float) -> None:
-        item.finished_at = self.context.now
+        context = self.context
+        now = context.loop._now
+        item.finished_at = now
         self._busy = False
         self.items_run += 1
         self.busy_time += run_time
-        if item.missed_deadline:
+        missed = now > item.deadline + 1e-12
+        if missed:
             self.deadline_misses += 1
         if self.keep_history:
             self.completed.append(item)
-        self.context.tracer.record(
-            "cpu",
-            "finish",
-            cpu=self.name,
-            item=item.name,
-            missed=item.missed_deadline,
-        )
-        obs = self.context.obs
+        tracer = context.tracer
+        if tracer.enabled:
+            tracer.record(
+                "cpu",
+                "finish",
+                cpu=self.name,
+                item=item.name,
+                missed=missed,
+            )
+        obs = context.obs
         if obs.enabled:
             metrics = obs.metrics
             metrics.counter("cpu_items_run", cpu=self.name).inc()
-            if item.missed_deadline:
+            if missed:
                 metrics.counter("cpu_deadline_misses", cpu=self.name).inc()
             metrics.histogram(
                 "cpu_queue_wait_seconds", cpu=self.name
             ).observe((item.started_at or item.submitted_at) - item.submitted_at)
             obs.spans.event(
                 item.trace_id, "cpu", "done",
-                cpu=self.name, item=item.name, missed=item.missed_deadline,
+                cpu=self.name, item=item.name, missed=missed,
             )
-        item.callback()
+        item.callback(*item.args)
         self._dispatch()
 
     def __repr__(self) -> str:

@@ -32,12 +32,8 @@ def _check_key(key: bytes) -> Tuple[int, int, int, int]:
     return struct.unpack(">4I", key)
 
 
-def xtea_encrypt_block(key: bytes, block: bytes) -> bytes:
-    """Encrypt one 8-byte block with XTEA."""
-    if len(block) != 8:
-        raise SecurityError(f"XTEA block must be 8 bytes, got {len(block)}")
-    k = _check_key(key)
-    v0, v1 = struct.unpack(">2I", block)
+def _encrypt_words(k: Tuple[int, int, int, int], v0: int, v1: int) -> Tuple[int, int]:
+    """XTEA rounds over two 32-bit words with a pre-unpacked key schedule."""
     total = 0
     for _ in range(_ROUNDS):
         v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
@@ -45,6 +41,15 @@ def xtea_encrypt_block(key: bytes, block: bytes) -> bytes:
         v1 = (
             v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))
         ) & _MASK
+    return v0, v1
+
+
+def xtea_encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Encrypt one 8-byte block with XTEA."""
+    if len(block) != 8:
+        raise SecurityError(f"XTEA block must be 8 bytes, got {len(block)}")
+    k = _check_key(key)
+    v0, v1 = _encrypt_words(k, *struct.unpack(">2I", block))
     return struct.pack(">2I", v0, v1)
 
 
@@ -73,19 +78,28 @@ class StreamCipher:
     """
 
     def __init__(self, key: bytes) -> None:
-        _check_key(key)
+        # The key schedule is unpacked exactly once; per-message use pays
+        # no setup (the ST caches cipher objects per stream).
+        self._k = _check_key(key)
         self.key = key
 
     def keystream(self, nonce: int, length: int) -> bytes:
         """``length`` keystream bytes for the given nonce."""
-        blocks = []
-        needed = (length + 7) // 8
-        for counter in range(needed):
-            block_input = struct.pack(">2I", nonce & _MASK, counter & _MASK)
-            blocks.append(xtea_encrypt_block(self.key, block_input))
+        k = self._k
+        v0 = nonce & _MASK
+        pack = struct.pack
+        blocks = [
+            pack(">2I", *_encrypt_words(k, v0, counter))
+            for counter in range((length + 7) // 8)
+        ]
         return b"".join(blocks)[:length]
 
     def apply(self, nonce: int, data: bytes) -> bytes:
         """XOR ``data`` with the keystream (encrypts and decrypts)."""
-        stream = self.keystream(nonce, len(data))
-        return bytes(a ^ b for a, b in zip(data, stream))
+        length = len(data)
+        stream = self.keystream(nonce, length)
+        # One wide integer XOR instead of a per-byte generator; the
+        # result is byte-identical.
+        return (
+            int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+        ).to_bytes(length, "big")

@@ -48,7 +48,9 @@ class SimContext:
 
     @property
     def now(self) -> float:
-        return self.loop.now
+        # Reads the loop's clock directly: this property is on every hot
+        # path and the extra ``loop.now`` property hop is measurable.
+        return self.loop._now
 
     def spawn(self, generator, name: Optional[str] = None) -> Process:
         """Start a generator as a simulated process."""

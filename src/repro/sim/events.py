@@ -38,7 +38,7 @@ from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import SchedulingError
 
-__all__ = ["EventHandle", "EventLoop", "Signal"]
+__all__ = ["EventHandle", "EventLoop", "GroupTimer", "Signal", "TimerGroup"]
 
 # Wheel geometry: 512 slots of 1 ms cover a 512 ms horizon, comfortably
 # wider than any single timer used by the protocol stack (propagation
@@ -128,6 +128,12 @@ class EventLoop:
         self._gran = _WHEEL_GRANULARITY
         self._inv_gran = 1.0 / _WHEEL_GRANULARITY
         self._base = int(self._now * self._inv_gran)
+        # Occupancy hint: no occupied wheel slot has an absolute index in
+        # [_base, _scan_slot), so the next-event scan may start there
+        # instead of walking every empty slot from the origin each
+        # iteration.  Maintained by insertions (which may lower it) and
+        # by the scan itself (which raises it past empty slots).
+        self._scan_slot = self._base
         self._wheel_count = 0
         self._queued_count = 0
         self._cancelled_in_queue = 0
@@ -194,6 +200,8 @@ class EventLoop:
                     (when, handle._seq, handle),
                 )
                 self._wheel_count += 1
+                if slot_no < self._scan_slot:
+                    self._scan_slot = slot_no
             else:
                 heapq.heappush(self._far, (when, handle._seq, handle))
         return handle
@@ -228,10 +236,11 @@ class EventLoop:
             slots = self._slots
             while far and int(far[0][0] * inv_gran) < horizon:
                 entry = heapq.heappop(far)
-                heapq.heappush(
-                    slots[int(entry[0] * inv_gran) % _WHEEL_SLOTS], entry
-                )
+                slot_no = int(entry[0] * inv_gran)
+                heapq.heappush(slots[slot_no % _WHEEL_SLOTS], entry)
                 self._wheel_count += 1
+                if slot_no < self._scan_slot:
+                    self._scan_slot = slot_no
 
     def _note_cancel(self) -> None:
         self._cancelled_in_queue += 1
@@ -334,11 +343,15 @@ class EventLoop:
                 nxt_time = 0.0
                 if self._wheel_count:
                     base = self._base
-                    for offset in range(_WHEEL_SLOTS):
-                        slot = slots[(base + offset) % _WHEEL_SLOTS]
+                    start = self._scan_slot
+                    if start < base:
+                        start = base
+                    for slot_no in range(start, base + _WHEEL_SLOTS):
+                        slot = slots[slot_no % _WHEEL_SLOTS]
                         if slot:
                             nxt_slot = slot
                             nxt_time = slot[0][0]
+                            self._scan_slot = slot_no
                             break
                 if far and (nxt_slot is None or far[0][0] < nxt_time):
                     nxt_slot = far
@@ -458,6 +471,193 @@ class EventLoop:
 
 class _Stop(Exception):
     """Internal: unwind the dispatch loop when max_events is reached."""
+
+
+class GroupTimer:
+    """One logical deadline inside a :class:`TimerGroup`.
+
+    Mirrors the :class:`EventHandle` surface the protocol layers use
+    (``time``, ``cancel()``, ``cancelled``) so call sites can hold either
+    interchangeably.
+    """
+
+    __slots__ = ("time", "_seq", "_callback", "_args", "_cancelled", "_group")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        group: "TimerGroup",
+    ) -> None:
+        self.time = time
+        self._seq = seq
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+        self._group = group
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self._callback = _noop
+        self._args = ()
+        group = self._group
+        if group is not None:
+            self._group = None
+            group._note_cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<GroupTimer t={self.time:.6f} {state}>"
+
+
+class TimerGroup:
+    """Many logical deadlines coalesced onto one rearming loop timer.
+
+    Protocol layers that keep one deadline per pending message
+    (piggyback flushes, control-request retransmissions, RKOM call
+    timeouts, supervisor retries) would otherwise schedule and cancel a
+    loop timer per message.  A group keeps those deadlines in its own
+    ``(time, seq)`` heap and arms a *single* loop timer at the earliest
+    live deadline, rearming only when the front changes -- so loop-timer
+    churn is O(groups), not O(messages), while every callback still runs
+    at exactly its scheduled simulated time, FIFO at equal times.
+
+    Unlike the loop's lazy-cancel queue, cancelled entries are dropped
+    eagerly: dead heads are popped on cancellation and the whole heap is
+    compacted as soon as dead entries outnumber live ones.  When the
+    last live deadline is cancelled the loop timer is left armed and
+    simply no-ops (rearming at whatever is live by then), so pure
+    schedule/cancel churn never touches the loop; ``cancel_all`` -- the
+    teardown path -- disarms it for real, leaving zero live timers.
+    """
+
+    __slots__ = ("_loop", "_heap", "_seq", "_timer", "_live", "_dead",
+                 "fires")
+
+    def __init__(self, loop: EventLoop) -> None:
+        self._loop = loop
+        self._heap: List[Tuple[float, int, GroupTimer]] = []
+        self._seq = itertools.count()
+        self._timer: Optional[EventHandle] = None
+        self._live = 0
+        self._dead = 0
+        #: Loop-timer firings so far (telemetry: timer events per message).
+        self.fires = 0
+
+    @property
+    def live(self) -> int:
+        """Live (not-yet-fired, not-cancelled) deadlines in the group."""
+        return self._live
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        # Without this, __len__ would make an *empty* group falsy --
+        # and ``group or loop`` fallbacks would silently skip it.
+        return True
+
+    @property
+    def armed(self) -> bool:
+        """Whether the group currently holds a loop timer."""
+        return self._timer is not None and not self._timer.cancelled
+
+    def call_at(
+        self, when: float, callback: Callable[..., None], *args: Any
+    ) -> GroupTimer:
+        """Run ``callback(*args)`` at simulated time ``when`` (clamped to
+        now)."""
+        now = self._loop._now
+        if when < now:
+            when = now
+        entry = GroupTimer(when, next(self._seq), callback, args, self)
+        heapq.heappush(self._heap, (when, entry._seq, entry))
+        self._live += 1
+        # Keep the loop timer armed at the heap front (the new entry is
+        # not necessarily the front when scheduling re-enters mid-fire).
+        front = self._heap[0][0]
+        timer = self._timer
+        if timer is None or timer.cancelled:
+            self._timer = self._loop.call_at(front, self._fire)
+        elif front < timer.time:
+            timer.cancel()
+            self._timer = self._loop.call_at(front, self._fire)
+        return entry
+
+    def call_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> GroupTimer:
+        """Run ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        return self.call_at(self._loop._now + delay, callback, *args)
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._dead += 1
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        if not self._live:
+            # Lazily disarmed: the loop timer stays armed and fires as a
+            # no-op (or rearms at whatever is live by then).  Schedule/
+            # cancel churn -- the dominant pattern for retransmit and
+            # flush deadlines -- then never touches the loop at all.
+            self._dead = 0
+            del heap[:]
+            return
+        if self._dead > self._live:
+            live_entries = [e for e in heap if not e[2]._cancelled]
+            heap[:] = live_entries
+            heapq.heapify(heap)
+            self._dead = 0
+
+    def _fire(self) -> None:
+        self._timer = None
+        self.fires += 1
+        heap = self._heap
+        now = self._loop._now
+        while heap and heap[0][0] <= now:
+            entry = heapq.heappop(heap)[2]
+            if entry._cancelled:
+                self._dead -= 1
+                continue
+            self._live -= 1
+            entry._group = None
+            callback, args = entry._callback, entry._args
+            entry._callback = _noop
+            entry._args = ()
+            callback(*args)
+        if heap and (self._timer is None or self._timer.cancelled):
+            self._timer = self._loop.call_at(heap[0][0], self._fire)
+
+    def cancel_all(self) -> None:
+        """Cancel every pending deadline and disarm the loop timer."""
+        for _, _, entry in self._heap:
+            if not entry._cancelled:
+                entry._cancelled = True
+                entry._callback = _noop
+                entry._args = ()
+                entry._group = None
+        del self._heap[:]
+        self._live = 0
+        self._dead = 0
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def __repr__(self) -> str:
+        return f"<TimerGroup live={self._live} armed={self.armed}>"
 
 
 class Signal:

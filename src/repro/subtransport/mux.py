@@ -96,6 +96,9 @@ class MuxBinding:
     def __init__(self, network_rms: NetworkRms) -> None:
         self.network_rms = network_rms
         self.st_rms: Dict[int, "StRms"] = {}
+        #: The piggyback queue feeding this binding's network RMS, set by
+        #: the ST at creation (saves two dict hops on the send path).
+        self.queue = None
         #: Last transmission deadline handed to the network per ST RMS
         #: (the *minimum transmission deadline* rule of section 4.3.1).
         self.last_network_deadline: Dict[int, float] = {}

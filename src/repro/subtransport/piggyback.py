@@ -24,8 +24,8 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.sim.context import SimContext
-from repro.sim.events import EventHandle
-from repro.subtransport.wire import BundleEntry, encode_bundle
+from repro.sim.events import EventHandle, TimerGroup
+from repro.subtransport.wire import BundleEntry, encode_bundle, encode_single
 
 __all__ = ["PiggybackQueue"]
 
@@ -50,6 +50,8 @@ class PiggybackQueue:
         flush_fn: FlushCallback,
         ordering_floor: Callable[[List[int]], float],
         enabled: bool = True,
+        timer_group: Optional[TimerGroup] = None,
+        fast: bool = False,
     ) -> None:
         if max_bundle_payload <= _BUNDLE_HEADER_BYTES:
             raise TransportError(
@@ -64,6 +66,15 @@ class PiggybackQueue:
         #: (entry, network transmission deadline, flush-by time).
         self._entries: List[Tuple[BundleEntry, float, float]] = []
         self._encoded_bytes = _BUNDLE_HEADER_BYTES
+        #: Where flush timers are scheduled: a per-peer TimerGroup when
+        #: the ST coalesces timers, else the loop itself.  Both expose
+        #: ``call_at`` returning a handle with ``time``/``cancel()``/
+        #: ``cancelled``, and fire at identical simulated times.
+        self._timers = timer_group if timer_group is not None else context.loop
+        #: Skip the generic multi-entry reductions for single-component
+        #: bundles (set from StConfig.message_fastpath; the flushed
+        #: bytes and deadlines are identical).
+        self._fast = fast
         self._timer: Optional[EventHandle] = None
         # Statistics.
         self.flushes_timer = 0
@@ -128,6 +139,34 @@ class PiggybackQueue:
         self._encoded_bytes += entry.encoded_size
         self._arm_timer()
 
+    def submit_fast(
+        self, entry: BundleEntry, entry_size: int, max_deadline: float,
+        flush_by: float,
+    ) -> None:
+        """Hot-path submit: the caller precomputed ``entry.encoded_size``
+        and clamped ``flush_by <= max_deadline``.  Decision structure and
+        flush times are identical to :meth:`submit`."""
+        if not self.enabled:
+            self.flushes_immediate += 1
+            self._send([(entry, max_deadline, flush_by)])
+            return
+        encoded = self._encoded_bytes
+        if flush_by <= self.context.now:
+            if encoded + entry_size > self.max_bundle_payload:
+                self.flushes_overflow += 1
+                self.flush("overflow")
+            self._entries.append((entry, max_deadline, flush_by))
+            self._encoded_bytes += entry_size
+            self.flushes_immediate += 1
+            self.flush("immediate")
+            return
+        if encoded + entry_size > self.max_bundle_payload:
+            self.flushes_overflow += 1
+            self.flush("overflow")
+        self._entries.append((entry, max_deadline, flush_by))
+        self._encoded_bytes += entry_size
+        self._arm_timer()
+
     def flush(self, reason: str = "forced") -> None:
         """Send every queued component as one bundle now."""
         if not self._entries:
@@ -143,6 +182,15 @@ class PiggybackQueue:
         self._send(entries)
 
     def _send(self, entries: List[Tuple[BundleEntry, float, float]]) -> None:
+        if self._fast and len(entries) == 1 and not self.context.obs.enabled:
+            # Single-component bundle: the reductions below collapse.
+            entry, deadline, _ = entries[0]
+            st_ids = [entry.st_rms_id]
+            floor = self.ordering_floor(st_ids)
+            if floor > deadline:
+                deadline = floor
+            self.flush_fn(encode_single(entry), deadline, st_ids, 1)
+            return
         payload = encode_bundle([entry for entry, _, _ in entries])
         st_ids = sorted({entry.st_rms_id for entry, _, _ in entries})
         # The deadline passed to the network layer is the queue's maximum
@@ -163,12 +211,16 @@ class PiggybackQueue:
         self.flush_fn(payload, deadline, st_ids, len(entries))
 
     def _arm_timer(self) -> None:
-        earliest = min(flush_by for _, _, flush_by in self._entries)
+        entries = self._entries
+        if len(entries) == 1:
+            earliest = entries[0][2]
+        else:
+            earliest = min(flush_by for _, _, flush_by in entries)
         if self._timer is not None:
             if self._timer.time <= earliest and not self._timer.cancelled:
                 return
             self._timer.cancel()
-        self._timer = self.context.loop.call_at(
+        self._timer = self._timers.call_at(
             max(earliest, self.context.now), self._timer_fired
         )
 

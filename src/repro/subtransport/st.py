@@ -28,7 +28,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.core.message import Label, Message
+from repro.core.message import Label, Message, fast_message
 from repro.core.negotiation import CapabilityTable, PerformanceLimits, negotiate
 from repro.core.params import (
     DelayBound,
@@ -52,6 +52,7 @@ from repro.security.cipher import StreamCipher
 from repro.security.keys import KeyRegistry
 from repro.security.mac import MAC_BYTES, compute_mac, verify_mac
 from repro.sim.context import SimContext
+from repro.sim.events import TimerGroup
 from repro.sim.process import Future
 from repro.subtransport.config import StConfig
 from repro.subtransport.mux import MuxBinding
@@ -68,8 +69,10 @@ from repro.subtransport.wire import (
     SUBHEADER_BYTES,
     control_mac_material,
     decode_bundle,
+    decode_bundle_flat,
     decode_control,
     encode_control,
+    encode_single,
 )
 
 __all__ = ["SubtransportLayer", "StStats"]
@@ -138,6 +141,13 @@ class _RxStream:
     #: smaller (hence earlier-deadline) later message could overtake its
     #: predecessor in the EDF CPU queue, violating in-sequence delivery.
     last_cpu_deadline: float = 0.0
+    #: Receiving host CPU, resolved lazily on the fast path.
+    cpu: Any = None
+    #: Per-size memo of the delay bound (-1.0 marks unbounded) and the
+    #: receive-stage CPU cost -- both computed by the same functions the
+    #: legacy path calls per message, so values are bit-identical.
+    bound_cache: Dict[int, float] = field(default_factory=dict)
+    cost_cache: Dict[int, float] = field(default_factory=dict)
 
 
 class _PeerState:
@@ -161,6 +171,10 @@ class _PeerState:
         self.bindings: List[MuxBinding] = []
         self.cached: List[MuxBinding] = []
         self.queues: Dict[int, PiggybackQueue] = {}  # binding net rms id -> queue
+        #: One coalesced deadline heap for every protocol timer aimed at
+        #: this peer (piggyback flushes, control retransmissions, auth
+        #: retries); ``None`` when StConfig.coalesced_timers is off.
+        self.timers: Optional[TimerGroup] = None
 
     @property
     def ready(self) -> bool:
@@ -186,6 +200,10 @@ class SubtransportLayer:
         self.keys = key_registry or KeyRegistry()
         self.config = config or StConfig()
         self.stats = StStats()
+        # Hot-path switches and constants, resolved once.
+        self._fast = self.config.message_fastpath
+        self._coalesce = self.config.coalesced_timers
+        self._window_cap = self.config.piggyback_window_cap
         self._peers: Dict[str, _PeerState] = {}
         self._network_preference: Dict[str, str] = {}
         self._rx: Dict[int, _RxStream] = {}
@@ -247,10 +265,18 @@ class SubtransportLayer:
         peer = self._peers.get(peer_host)
         if peer is None:
             peer = _PeerState(peer_host, self.network_for(peer_host))
+            if self._coalesce:
+                peer.timers = TimerGroup(self.context.loop)
             self._peers[peer_host] = peer
         else:
             self._maybe_retarget(peer)
         return peer
+
+    def _peer_timers(self, peer: _PeerState):
+        """Where this peer's protocol timers go: its TimerGroup when
+        coalescing, else the loop (identical firing semantics)."""
+        timers = peer.timers
+        return timers if timers is not None else self.context.loop
 
     def _maybe_retarget(self, peer: _PeerState) -> None:
         """Re-point a peer at a usable network after its old one died.
@@ -440,6 +466,48 @@ class SubtransportLayer:
     def _st_failed(self, peer: _PeerState, st_rms: StRms) -> None:
         self._detach(peer, st_rms)
 
+    def close_peer(self, peer_host: str) -> None:
+        """Tear down all state toward one peer, leaving zero live timers.
+
+        Every pending control request fails, its retransmission timer is
+        cancelled (and, with coalesced timers, dropped from the peer's
+        group eagerly), queued components are flushed, and the control
+        and cached network RMSs are closed.
+        """
+        peer = self._peers.pop(peer_host, None)
+        if peer is None:
+            return
+        if peer.auth_timer is not None:
+            peer.auth_timer.cancel()
+            peer.auth_timer = None
+        peer.auth_in_progress = False
+        pending, peer.pending_replies = peer.pending_replies, {}
+        error = TransportError(f"peer {peer_host} closed")
+        for request in pending.values():
+            if request.timer is not None:
+                request.timer.cancel()
+                request.timer = None
+            if not request.future.done:
+                request.future.set_exception(error)
+        self._fail_waiters(peer, error)
+        for binding in list(peer.bindings) + list(peer.cached):
+            queue = peer.queues.pop(binding.network_rms.rms_id, None)
+            if queue is not None:
+                queue.flush("forced")
+            for st_rms in list(binding.st_rms.values()):
+                binding.detach(st_rms)
+                st_rms.delete()
+            if binding.network_rms.is_open:
+                peer.network.delete_rms(binding.network_rms)
+        peer.bindings.clear()
+        peer.cached.clear()
+        if peer.control_out is not None and peer.control_out.is_open:
+            peer.network.delete_rms(peer.control_out)
+        peer.control_out = None
+        peer.control_out_state = "none"
+        if peer.timers is not None:
+            peer.timers.cancel_all()
+
     # ------------------------------------------------------------------
     # Control channel (section 3.2)
     # ------------------------------------------------------------------
@@ -522,7 +590,7 @@ class SubtransportLayer:
         self._send_control(
             peer, {"op": "auth1", "from": self.host.name, "na": nonce}
         )
-        peer.auth_timer = self.context.loop.call_after(
+        peer.auth_timer = self._peer_timers(peer).call_after(
             self.config.auth_retry_timeout, self._auth_timeout, peer
         )
 
@@ -544,7 +612,7 @@ class SubtransportLayer:
             peer,
             {"op": "auth1", "from": self.host.name, "na": peer.initiator_nonce},
         )
-        peer.auth_timer = self.context.loop.call_after(
+        peer.auth_timer = self._peer_timers(peer).call_after(
             self.config.auth_retry_timeout * (2 ** peer.auth_attempts),
             self._auth_timeout,
             peer,
@@ -588,7 +656,7 @@ class SubtransportLayer:
         pending = _PendingRequest(future=Future(self.context.loop), fields=fields)
         peer.pending_replies[req_id] = pending
         self._send_control(peer, fields)
-        pending.timer = self.context.loop.call_after(
+        pending.timer = self._peer_timers(peer).call_after(
             self.config.control_retry_timeout, self._request_timeout, peer, req_id
         )
         return pending.future
@@ -607,7 +675,7 @@ class SubtransportLayer:
             )
             return
         self._send_control(peer, pending.fields)
-        pending.timer = self.context.loop.call_after(
+        pending.timer = self._peer_timers(peer).call_after(
             self.config.control_retry_timeout * (2 ** pending.attempts),
             self._request_timeout,
             peer,
@@ -758,10 +826,19 @@ class SubtransportLayer:
         queue = PiggybackQueue(
             self.context,
             max_bundle_payload=network_rms.params.max_message_size,
-            flush_fn=self._make_flusher(binding),
+            flush_fn=(
+                self._make_fast_flusher(binding)
+                if self._fast
+                else self._make_flusher(binding)
+            ),
             ordering_floor=binding.ordering_floor,
             enabled=self.config.piggyback_enabled,
+            timer_group=peer.timers,
+            fast=self._fast,
         )
+        binding.queue = queue
+        if self._fast:
+            network_rms.fast_path = True
         peer.queues[network_rms.rms_id] = queue
         peer.bindings.append(binding)
         network_rms.on_failure.listen(
@@ -868,6 +945,39 @@ class SubtransportLayer:
 
         return flush
 
+    def _make_fast_flusher(self, binding: MuxBinding):
+        """Like :meth:`_make_flusher` with the per-flush lookups hoisted:
+        labels, network RMS, deadline table, and stats are captured once
+        and the network send goes through :meth:`Rms.send_fast`."""
+        source = Label(self.host.name, DATA_PORT)
+        network_rms = binding.network_rms
+        target = Label(network_rms.receiver.host, DATA_PORT)
+        last_deadline = binding.last_network_deadline
+        stats = self.stats
+        context = self.context
+
+        def flush(payload: bytes, deadline: float, st_ids: List[int], count: int):
+            obs = context.obs
+            if obs.enabled:
+                message = Message(payload, source=source, target=target)
+                network_rms.send_fast(message, len(payload), deadline)
+            else:
+                message = fast_message(payload, source, target)
+                network_rms.send_data_fast(message, len(payload), deadline)
+            for st_id in st_ids:
+                last_deadline[st_id] = deadline
+            binding.bundles_sent += 1
+            binding.components_sent += count
+            stats.bundles_sent += 1
+            stats.components_sent += count
+            if obs.enabled:
+                obs.metrics.counter("st_bundles_sent", host=self.host.name).inc()
+                obs.metrics.counter(
+                    "st_components_sent", host=self.host.name
+                ).inc(count)
+
+        return flush
+
     # -- send path ----------------------------------------------------------
 
     def _st_send(self, st_rms: StRms, message: Message) -> None:
@@ -888,6 +998,108 @@ class SubtransportLayer:
             mac=plan.mac,
             trace_id=message.trace_id,
         )
+
+    def _st_send_fast(
+        self, st_rms: StRms, message: Message, size: int, arrival: float
+    ) -> None:
+        """Hot-path entry from :meth:`StRms.send`: precomputed size, no
+        closures, stage cost memoized per message size.
+
+        The cost memo calls the same :meth:`CpuCostModel.protocol_cost`
+        the legacy path calls per message, so stage times (and therefore
+        every downstream simulated timestamp) are bit-identical.
+        """
+        if st_rms.binding is None:
+            raise RmsError(f"{st_rms.name} has no network binding yet")
+        cpu = self.host.cpu
+        cost = st_rms._send_cost_cache.get(size)
+        if cost is None:
+            plan = st_rms.plan
+            cost = cpu.costs.protocol_cost(
+                size, checksum=plan.checksum, encrypt=plan.encrypt, mac=plan.mac
+            )
+            st_rms._send_cost_cache[size] = cost
+        cpu.submit_fast(
+            st_rms._send_stage_name,
+            cost,
+            arrival + self.config.send_stage_allowance,
+            self._send_stage_done_fast,
+            (st_rms, message, size, arrival),
+            owner="st",
+            trace_id=message.trace_id,
+        )
+
+    def _send_stage_done_fast(
+        self, st_rms: StRms, message: Message, size: int, arrival: float
+    ) -> None:
+        binding = st_rms.binding
+        if binding is None or not binding.network_rms.is_open:
+            st_rms._drop(message, "binding lost")
+            return
+        security = st_rms.security
+        slack = st_rms._slack_cache.get(size)
+        if slack is None:
+            # arrival=0.0 turns _max_transmission_deadline into the pure
+            # per-size slack; adding it back reproduces the same float.
+            slack = self._max_transmission_deadline(
+                st_rms, binding.network_rms.params, size, 0.0
+            )
+            st_rms._slack_cache[size] = slack
+        max_deadline = arrival + slack
+        window_close = arrival + self._window_cap
+        flush_by = window_close if window_close < max_deadline else max_deadline
+        cached = st_rms._max_component_cache
+        if cached is None or cached[0] is not binding:
+            st_rms._max_component_cache = cached = (
+                binding,
+                binding.network_rms.params.max_message_size
+                - _BUNDLE_COUNT_BYTES
+                - SUBHEADER_BYTES
+                - security.overhead,
+            )
+        max_component = cached[1]
+        if size > max_component:
+            queue = binding.queue
+            self._send_fragments(
+                st_rms, binding, queue, message, max_component, max_deadline,
+                arrival,
+            )
+            return
+        seq = st_rms.next_seq
+        st_rms.next_seq = seq + 1
+        protect = security.protect
+        if protect is None:
+            data = message.payload
+            flags = 0
+        else:
+            data = protect(seq, message.payload)
+            flags = security.flags
+        obs = self.context.obs
+        if obs.enabled:
+            if message.trace_id is not None:
+                obs.spans.stash((st_rms.rms_id, seq), message.trace_id)
+            obs.spans.event(
+                message.trace_id, "st", "enqueue",
+                st=st_rms.name, queued=binding.queue is not None,
+            )
+        entry = BundleEntry(
+            st_rms_id=st_rms.rms_id,
+            seq=seq,
+            flags=flags,
+            payload=data,
+            send_time=arrival,
+            trace_id=message.trace_id,
+        )
+        queue = binding.queue
+        if queue is not None:
+            queue.submit_fast(
+                entry, SUBHEADER_BYTES + len(data), max_deadline, flush_by
+            )
+        else:
+            self._emit_tx(entry)
+            self._make_flusher(binding)(
+                _encode_single(entry), max_deadline, [st_rms.rms_id], 1
+            )
 
     def _send_stage_done(
         self, st_rms: StRms, message: Message, arrival: float
@@ -1072,6 +1284,23 @@ class SubtransportLayer:
     # -- receive path ----------------------------------------------------------
 
     def _data_arrived(self, network_rms: NetworkRms, message: Message) -> None:
+        if self._fast and not self.context.obs.enabled:
+            # Flat decode: the same wire validation, no per-component
+            # BundleEntry objects on the hot path.
+            try:
+                flat = decode_bundle_flat(message.payload)
+            except TransportError:
+                self.stats.garbled_bundles += 1
+                return
+            self.stats.bundles_received += 1
+            rx_map = self._rx
+            for fields in flat:
+                rx = rx_map.get(fields[0])
+                if rx is None:
+                    self.stats.orphan_components += 1
+                    continue
+                self._receive_fields_fast(rx, fields)
+            return
         try:
             entries = decode_bundle(message.payload)
         except TransportError:
@@ -1080,6 +1309,37 @@ class SubtransportLayer:
         self.stats.bundles_received += 1
         for entry in entries:
             self._receive_entry(entry)
+
+    def _receive_fields_fast(self, rx: _RxStream, fields: tuple) -> None:
+        """Hot-path component receive: one attribute test replaces the
+        per-flag security branches; fragments and anything unusual
+        (flags on a security-elided stream, failed verification) fall
+        back to the legacy path -- rebuilding the BundleEntry it wants --
+        for identical accounting."""
+        st_rms_id, seq, flags, payload, send_time, frag_offset, frag_total = fields
+        st_rms = rx.st_rms
+        if flags:
+            unprotect = st_rms.security.unprotect
+            if flags & FLAG_FRAGMENT or unprotect is None:
+                self._receive_entry(BundleEntry(
+                    st_rms_id=st_rms_id, seq=seq, flags=flags,
+                    payload=payload, send_time=send_time,
+                    frag_offset=frag_offset, frag_total=frag_total,
+                ))
+                return
+            data, _ = unprotect(flags, seq, payload)
+            if data is None:
+                # Legacy-exact drop accounting.
+                self._receive_entry(BundleEntry(
+                    st_rms_id=st_rms_id, seq=seq, flags=flags,
+                    payload=payload, send_time=send_time,
+                    frag_offset=frag_offset, frag_total=frag_total,
+                ))
+                return
+        else:
+            data = payload
+        self.stats.components_received += 1
+        self._deliver_after_cpu_fast(rx, data, len(data), send_time, None)
 
     def _receive_entry(self, entry: BundleEntry) -> None:
         obs = self.context.obs
@@ -1223,6 +1483,98 @@ class SubtransportLayer:
             trace_id=trace_id,
         )
 
+    def _deliver_after_cpu_fast(
+        self,
+        rx: _RxStream,
+        payload: bytes,
+        size: int,
+        send_time: float,
+        trace_id: Optional[int],
+    ) -> None:
+        st_rms = rx.st_rms
+        cpu = rx.cpu
+        if cpu is None:
+            network = self._peer(rx.sender_host).network
+            host = network.hosts.get(st_rms.receiver.host)
+            if host is None:  # pragma: no cover - receiver always attached
+                return
+            cpu = rx.cpu = host.cpu
+        bound = rx.bound_cache.get(size)
+        if bound is None:
+            delay_bound = st_rms.params.delay_bound
+            bound = (
+                delay_bound.bound_for(size)
+                if not delay_bound.is_unbounded
+                else -1.0
+            )
+            rx.bound_cache[size] = bound
+        if bound >= 0.0:
+            deadline = send_time + bound
+        else:
+            deadline = self.context.now + self.config.recv_stage_allowance
+        last = rx.last_cpu_deadline
+        if deadline < last:
+            deadline = last
+        else:
+            rx.last_cpu_deadline = deadline
+        cost = rx.cost_cache.get(size)
+        if cost is None:
+            plan = st_rms.plan
+            cost = cpu.costs.protocol_cost(
+                size, checksum=plan.checksum, encrypt=plan.encrypt, mac=plan.mac
+            )
+            rx.cost_cache[size] = cost
+        cpu.submit_fast(
+            st_rms._recv_stage_name,
+            cost,
+            deadline,
+            self._final_deliver_fast,
+            (rx, payload, size, send_time, trace_id),
+            owner="st",
+            trace_id=trace_id,
+        )
+
+    def _final_deliver_fast(
+        self,
+        rx: _RxStream,
+        payload: bytes,
+        size: int,
+        send_time: float,
+        trace_id: Optional[int],
+    ) -> None:
+        st_rms = rx.st_rms
+        if st_rms.state is not RmsState.OPEN:
+            return
+        if type(payload) is not bytes:
+            # Client-delivery boundary: hand applications real bytes, not
+            # a view pinned to the network message's buffer.
+            payload = bytes(payload)
+        message = fast_message(
+            payload, st_rms.sender, st_rms.receiver,
+            send_time=send_time, trace_id=trace_id,
+        )
+        st_rms.deliver_fast(message, size)
+        if rx.fast_ack:
+            peer = self._peer(rx.sender_host)
+            self._send_control(
+                peer,
+                {
+                    "op": "fast_ack",
+                    "st_id": st_rms.rms_id,
+                    "seq": st_rms.stats.messages_delivered,
+                },
+            )
+            self.stats.fast_acks_sent += 1
+            obs = self.context.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "st_fast_acks_sent", host=self.host.name
+                ).inc()
+                obs.spans.event(
+                    trace_id, "st", "ack",
+                    st=st_rms.name, seq=st_rms.stats.messages_delivered,
+                )
+
     def _final_deliver(
         self,
         rx: _RxStream,
@@ -1283,9 +1635,7 @@ def _pipe(source: Future, sink: Future) -> None:
 
 
 def _encode_single(entry: BundleEntry) -> bytes:
-    from repro.subtransport.wire import encode_bundle
-
-    return encode_bundle([entry])
+    return encode_single(entry)
 
 
 def _phantom(payload: bytes, trace_id: Optional[int] = None) -> Message:

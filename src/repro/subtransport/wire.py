@@ -25,7 +25,9 @@ from repro.errors import TransportError
 __all__ = [
     "BundleEntry",
     "encode_bundle",
+    "encode_single",
     "decode_bundle",
+    "decode_bundle_flat",
     "encode_control",
     "decode_control",
     "control_mac_material",
@@ -115,6 +117,69 @@ def encode_bundle(entries: List[BundleEntry]) -> bytes:
             )
         parts.append(body)
     return b"".join(parts)
+
+
+#: Precomputed count header of the dominant one-component bundle.
+_SINGLE_COUNT = _BUNDLE_COUNT.pack(1)
+
+
+def encode_single(entry: BundleEntry) -> bytes:
+    """``encode_bundle([entry])``, specialized for one non-fragment
+    component (the dominant case once a message overflows or bypasses
+    the piggyback queue).  Produces bit-identical bytes."""
+    if entry.flags & FLAG_FRAGMENT:
+        return encode_bundle([entry])
+    body = entry.payload
+    return b"".join((
+        _SINGLE_COUNT,
+        _SUBHEADER.pack(
+            entry.st_rms_id, entry.seq, entry.flags, len(body),
+            entry.send_time,
+        ),
+        body,
+    ))
+
+
+def decode_bundle_flat(
+    data: bytes,
+) -> List[tuple]:
+    """:func:`decode_bundle` without the :class:`BundleEntry` objects.
+
+    Returns ``(st_rms_id, seq, flags, payload, send_time, frag_offset,
+    frag_total)`` tuples (payloads are zero-copy memoryviews), with the
+    same validation and the same exceptions.  The ST hot path iterates
+    these directly and rebuilds a :class:`BundleEntry` only for the rare
+    component that needs the legacy (flagged/fragment) machinery.
+    """
+    total = len(data)
+    if total < _BUNDLE_COUNT.size:
+        raise TransportError("bundle truncated: no count")
+    (count,) = _BUNDLE_COUNT.unpack_from(data, 0)
+    view = memoryview(data)
+    offset = _BUNDLE_COUNT.size
+    entries: List[tuple] = []
+    append = entries.append
+    unpack_subheader = _SUBHEADER.unpack_from
+    for _ in range(count):
+        if offset + SUBHEADER_BYTES > total:
+            raise TransportError("bundle truncated: bad subheader")
+        st_rms_id, seq, flags, length, send_time = unpack_subheader(data, offset)
+        offset += SUBHEADER_BYTES
+        if offset + length > total:
+            raise TransportError("bundle truncated: bad component length")
+        body = view[offset : offset + length]
+        offset += length
+        frag_offset = 0
+        frag_total = 0
+        if flags & FLAG_FRAGMENT:
+            if len(body) < FRAG_HEADER_BYTES:
+                raise TransportError("fragment truncated")
+            frag_offset, frag_total = _FRAG_HEADER.unpack_from(body, 0)
+            body = body[FRAG_HEADER_BYTES:]
+        append((st_rms_id, seq, flags, body, send_time, frag_offset, frag_total))
+    if offset != total:
+        raise TransportError("bundle has trailing garbage")
+    return entries
 
 
 def decode_bundle(data: bytes) -> List[BundleEntry]:

@@ -122,6 +122,34 @@ class RateBasedEnforcer:
         self._pending.append([size, send, trace_id, False])
         self._drain()
 
+    def try_admit(self, size: int, now: Optional[float] = None) -> bool:
+        """Admit ``size`` bytes immediately, or decline without queueing.
+
+        The no-alloc fast path of :meth:`request`: no pending record, no
+        closure, no timer.  Succeeds -- with exactly the bookkeeping an
+        uncontested ``request`` would have done -- iff nothing is queued
+        ahead and the sliding window has room.  On False the enforcer is
+        untouched and the caller falls back to :meth:`request`.
+        """
+        if self._pending:
+            return False
+        if size > self.capacity:
+            raise ParameterError(
+                f"message of {size}B exceeds enforced capacity {self.capacity}B"
+            )
+        if now is None:
+            now = self.context.now
+        horizon = now - self.window
+        history = self._history
+        while history and history[0][0] <= horizon:
+            _, old = history.popleft()
+            self._in_window -= old
+        if self._in_window + size > self.capacity:
+            return False
+        history.append((now, size))
+        self._in_window += size
+        return True
+
     def _drain(self) -> None:
         self._evict()
         obs = self.context.obs
@@ -205,6 +233,21 @@ class WindowEnforcer:
         self._pending.append([size, send, trace_id, False])
         self._drain()
 
+    def try_admit(self, size: int, now: Optional[float] = None) -> bool:
+        """Admit immediately or decline without queueing (no-alloc fast
+        path of :meth:`request`; ``now`` is accepted for interface
+        uniformity with the rate enforcer)."""
+        if self._pending:
+            return False
+        if size > self.capacity:
+            raise ParameterError(
+                f"message of {size}B exceeds window capacity {self.capacity}B"
+            )
+        if self.outstanding + size > self.capacity:
+            return False
+        self.outstanding += size
+        return True
+
     def acknowledge(self, size: int) -> None:
         """Credit ``size`` delivered bytes back to the window."""
         self.outstanding = max(0, self.outstanding - size)
@@ -274,6 +317,20 @@ class ReceiverCredit:
             )
         self._pending.append([size, send, trace_id, False])
         self._drain()
+
+    def try_admit(self, size: int, now: Optional[float] = None) -> bool:
+        """Consume credit immediately or decline without queueing (the
+        no-alloc fast path of :meth:`request`)."""
+        if self._pending:
+            return False
+        if size > self.buffer_bytes:
+            raise ParameterError(
+                f"message of {size}B exceeds receive buffer {self.buffer_bytes}B"
+            )
+        if size > self.available:
+            return False
+        self.available -= size
+        return True
 
     def grant(self, size: int) -> None:
         """The receiver consumed ``size`` bytes; replenish credit."""

@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
 from repro.errors import RkomTimeoutError, RmsFailedError, TransportError
 from repro.sim.context import SimContext
-from repro.sim.events import EventHandle, Signal
+from repro.sim.events import GroupTimer, Signal, TimerGroup
 from repro.sim.process import Future
 from repro.subtransport.st import SubtransportLayer
 from repro.subtransport.strms import StRms
@@ -72,7 +72,7 @@ class _PendingCall:
     peer: str
     retries: int = 0
     timeout: float = 0.0
-    timer: Optional[EventHandle] = None
+    timer: Optional[GroupTimer] = None
     trace_id: Optional[int] = None  # observability span of the whole call
 
 
@@ -102,6 +102,9 @@ class RkomService:
         self.handlers: Dict[str, Callable[[bytes, str], Any]] = {}
         self._channels: Dict[str, _Channel] = {}
         self._pending: Dict[int, _PendingCall] = {}
+        #: All call timeouts coalesced onto one loop timer (the timeout
+        #: deadline churns on every retransmission and reply).
+        self._timers = TimerGroup(context.loop)
         #: Reply cache for at-most-once execution of duplicates.
         self._served: "OrderedDict[Tuple[str, int], Optional[bytes]]" = OrderedDict()
         #: Fired with (peer_host, "ready" | "failed") on channel state
@@ -162,7 +165,7 @@ class RkomService:
             # The channel died between "ready" and this action running;
             # the timeout path re-establishes it and retransmits.
             pass
-        pending.timer = self.context.loop.call_after(
+        pending.timer = self._timers.call_after(
             pending.timeout, self._timeout_fired, request_id
         )
 
@@ -214,7 +217,7 @@ class RkomService:
                 lambda ch, rid=request_id: self._resend_if_pending(rid, ch),
             )
         pending.timeout *= self.config.backoff
-        pending.timer = self.context.loop.call_after(
+        pending.timer = self._timers.call_after(
             pending.timeout, self._timeout_fired, request_id
         )
 

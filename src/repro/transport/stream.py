@@ -227,31 +227,44 @@ class StreamSession:
     def _gate_receiver(
         self, seq: int, payload: bytes, trace_id: Optional[int]
     ) -> None:
-        if self._credit is not None:
-            self._credit.request(
+        credit = self._credit
+        if credit is not None and not credit.try_admit(len(payload)):
+            # Contested: fall back to the queueing path.  An uncontested
+            # request would have emitted no fc events either, so the
+            # fast path is observability-identical.
+            credit.request(
                 len(payload),
                 lambda: self._gate_capacity(seq, payload, trace_id),
                 trace_id=trace_id,
             )
-        else:
-            self._gate_capacity(seq, payload, trace_id)
+            return
+        self._gate_capacity(seq, payload, trace_id)
 
     def _gate_capacity(
         self, seq: int, payload: bytes, trace_id: Optional[int]
     ) -> None:
         size = len(payload) + _DATA_HEADER.size
-        if self._rate is not None:
-            self._rate.request(
-                size, lambda: self._transmit(seq, payload, trace_id),
-                trace_id=trace_id,
-            )
-        elif self._window is not None:
-            self._window.request(
-                size, lambda: self._transmit(seq, payload, trace_id),
-                trace_id=trace_id,
-            )
-        else:
-            self._transmit(seq, payload, trace_id)
+        rate = self._rate
+        if rate is not None:
+            if rate.try_admit(size):
+                self._transmit(seq, payload, trace_id)
+            else:
+                rate.request(
+                    size, lambda: self._transmit(seq, payload, trace_id),
+                    trace_id=trace_id,
+                )
+            return
+        window = self._window
+        if window is not None:
+            if window.try_admit(size):
+                self._transmit(seq, payload, trace_id)
+            else:
+                window.request(
+                    size, lambda: self._transmit(seq, payload, trace_id),
+                    trace_id=trace_id,
+                )
+            return
+        self._transmit(seq, payload, trace_id)
 
     def _transmit(
         self, seq: int, payload: bytes, trace_id: Optional[int] = None

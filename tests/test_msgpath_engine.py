@@ -1,0 +1,148 @@
+"""Tests for the message-path engine: coalesced timers must be
+behavior-preserving and leave no state behind at teardown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dash.system import DashSystem
+from repro.errors import RkomTimeoutError
+from repro.sim.events import TimerGroup
+from repro.subtransport.config import StConfig
+
+LEGACY = StConfig(coalesced_timers=False, message_fastpath=False)
+TIMERS_ONLY_OFF = StConfig(coalesced_timers=False)
+
+
+def _lossy_trace(st_config, messages=60, loss=0.05):
+    """A fixed-seed lossy run; returns the delivery trace and end time.
+
+    Small bursty payloads exercise piggyback flush deadlines; frame loss
+    exercises the ST control-request retransmission timers during
+    establishment and stream-session setup.
+    """
+    system = DashSystem(seed=7, st_config=st_config)
+    system.add_ethernet(trusted=True, frame_loss_rate=loss)
+    system.add_node("a")
+    system.add_node("b")
+    session = system.connect("a", "b", port="trace")
+    system.run(until=2.0)
+    rms = session.established.result()
+    deliveries = []
+    rms.port.set_handler(
+        lambda message: deliveries.append((bytes(message.payload), system.now))
+    )
+    for index in range(messages):
+        rms.send(bytes([index % 251]) * 64)
+        if index % 8 == 7:
+            # Let queued bundles drain so some flushes happen on the
+            # piggyback deadline timer rather than on overflow.
+            system.run(until=system.now + 0.05)
+    system.run(until=system.now + 2.0)
+    return deliveries, system.now
+
+
+class TestCoalescingEquivalence:
+    """Retransmit/ack/piggyback deadlines fire at identical sim times
+    with coalesced timers and with one loop timer per pending message."""
+
+    def test_delivery_trace_identical_without_coalescing(self):
+        fast, _ = _lossy_trace(None)
+        uncoalesced, _ = _lossy_trace(TIMERS_ONLY_OFF)
+        assert fast == uncoalesced
+
+    def test_delivery_trace_identical_vs_full_legacy_path(self):
+        fast, _ = _lossy_trace(None)
+        legacy, _ = _lossy_trace(LEGACY)
+        assert fast == legacy
+
+    def test_lossless_trace_identical(self):
+        fast, _ = _lossy_trace(None, loss=0.0)
+        legacy, _ = _lossy_trace(LEGACY, loss=0.0)
+        assert fast == legacy
+        assert len(fast) == 60
+
+
+class TestPeerTeardown:
+    def _system(self):
+        system = DashSystem(seed=11)
+        system.add_ethernet(trusted=True)
+        system.add_node("a")
+        system.add_node("b")
+        return system
+
+    def test_close_peer_leaves_zero_live_timers(self):
+        system = self._system()
+        session = system.connect("a", "b", port="teardown")
+        system.run(until=2.0)
+        rms = session.established.result()
+        for _ in range(5):
+            rms.send(b"x" * 64)  # queued bundles hold flush deadlines
+        st = system.nodes["a"].st
+        group = st._peers["b"].timers
+        assert isinstance(group, TimerGroup)
+        st.close_peer("b")
+        assert group.live == 0
+        assert not group.armed
+        assert "b" not in st._peers
+
+    def test_close_peer_mid_establishment_leaves_zero_live_timers(self):
+        system = self._system()
+        system.connect("a", "b", port="early")
+        # Step until a control request is in flight: its retransmission
+        # deadline is then live in the peer's group.
+        st = system.nodes["a"].st
+        while system.now < 2.0:
+            system.run(until=system.now + 1e-5)
+            peer = st._peers.get("b")
+            if peer is not None and peer.pending_replies:
+                break
+        group = st._peers["b"].timers
+        assert isinstance(group, TimerGroup)
+        assert group.live > 0
+        st.close_peer("b")
+        assert group.live == 0
+        assert not group.armed
+
+    def test_pending_control_timers_dropped_eagerly_on_reply(self):
+        system = self._system()
+        session = system.connect("a", "b", port="eager")
+        system.run(until=2.0)
+        session.established.result()
+        st = system.nodes["a"].st
+        peer = st._peers["b"]
+        # Every answered control request cancelled its retransmission
+        # timer, and the group dropped the dead entries eagerly.
+        assert not peer.pending_replies
+        assert peer.timers.live == 0
+
+
+class TestRkomTimerGroup:
+    def test_reply_cancels_timeout_leaving_no_live_timers(self):
+        system = DashSystem(seed=13)
+        system.add_ethernet(trusted=True)
+        node_a = system.add_node("a")
+        node_b = system.add_node("b")
+        node_b.rkom.register_handler("echo", lambda payload, sender: payload)
+        future = system.connect(node_a, node_b, kind="rkom").call("echo", b"hi")
+        system.run(until=2.0)
+        assert future.result() == b"hi"
+        assert node_a.rkom._timers.live == 0
+
+    def test_unanswered_call_times_out_through_the_group(self):
+        from repro.sim.process import Future
+
+        system = DashSystem(seed=13)
+        system.add_ethernet(trusted=True)
+        node_a = system.add_node("a")
+        node_b = system.add_node("b")
+        # A handler that never resolves: every timeout fires via the group.
+        node_b.rkom.register_handler(
+            "hang", lambda payload, sender: Future(system.context.loop)
+        )
+        future = system.connect(node_a, node_b, kind="rkom").call("hang", b"?")
+        system.run(until=60.0)
+        with pytest.raises(RkomTimeoutError):
+            future.result()
+        assert node_a.rkom._timers.fires > 1  # retransmission deadlines
+        assert node_a.rkom._timers.live == 0

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SchedulingError
-from repro.sim.events import EventLoop, Signal
+from repro.sim.events import EventLoop, Signal, TimerGroup
 
 
 class TestEventLoop:
@@ -287,3 +287,130 @@ class TestSignal:
         signal.listen(lambda: None)
         signal.listen(lambda: None)
         assert len(signal) == 2
+
+
+class TestTimerGroup:
+    """Coalesced deadlines: one loop timer per group, exact fire times."""
+
+    def test_callbacks_fire_at_exact_times_fifo(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        order = []
+        group.call_after(2.0, lambda: order.append(("b", loop.now)))
+        group.call_after(1.0, lambda: order.append(("a", loop.now)))
+        group.call_at(2.0, lambda: order.append(("c", loop.now)))
+        loop.run()
+        assert order == [("a", 1.0), ("b", 2.0), ("c", 2.0)]
+
+    def test_single_loop_timer_for_many_deadlines(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        sink = []
+        for index in range(100):
+            group.call_after(0.5, sink.append, index)
+        loop.run()
+        assert sink == list(range(100))
+        # 100 deadlines at one instant cost one loop-timer firing.
+        assert group.fires == 1
+
+    def test_earlier_deadline_rearms_loop_timer(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        order = []
+        group.call_after(5.0, order.append, "late")
+        group.call_after(1.0, order.append, "early")
+        loop.run()
+        assert order == ["early", "late"]
+
+    def test_cancel_drops_live_count_eagerly(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        handles = [group.call_after(1.0, lambda: None) for _ in range(10)]
+        assert group.live == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert group.live == 6
+        assert handles[0].cancelled
+        handles[0].cancel()  # idempotent
+        assert group.live == 6
+
+    def test_cancelling_last_deadline_is_a_noop_fire(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        fired = []
+        group.call_after(1.0, fired.append, "x").cancel()
+        # Lazy disarm: the loop timer stays armed and no-ops.
+        assert group.live == 0
+        assert group.armed
+        loop.run()
+        assert fired == []
+        assert not group.armed
+
+    def test_schedule_cancel_churn_never_rearms(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        group.call_after(1.0, lambda: None).cancel()
+        timer_after_first = group._timer
+        for _ in range(50):
+            group.call_after(1.0, lambda: None).cancel()
+        # Pure churn at or past the armed deadline reuses the one timer.
+        assert group._timer is timer_after_first
+
+    def test_noop_fire_rearms_for_later_deadline(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        fired = []
+        group.call_after(1.0, lambda: None).cancel()
+        group.call_after(3.0, fired.append, "late")
+        loop.run()
+        assert fired == ["late"]
+        assert loop.now == 3.0
+
+    def test_cancel_all_disarms_for_real(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        sink = []
+        for _ in range(5):
+            group.call_after(1.0, sink.append, "never")
+        group.cancel_all()
+        assert group.live == 0
+        assert not group.armed
+        loop.run()
+        assert sink == []
+
+    def test_rescheduling_inside_callback(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        times = []
+
+        def step():
+            times.append(loop.now)
+            if len(times) < 3:
+                group.call_after(1.0, step)
+
+        group.call_after(1.0, step)
+        loop.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        with pytest.raises(SchedulingError):
+            group.call_after(-0.1, lambda: None)
+
+    def test_past_deadline_clamped_to_now(self):
+        loop = EventLoop()
+        loop.call_after(2.0, lambda: None)
+        loop.run()
+        group = TimerGroup(loop)
+        seen = []
+        group.call_at(0.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [2.0]
+
+    def test_empty_group_is_truthy(self):
+        loop = EventLoop()
+        group = TimerGroup(loop)
+        assert len(group) == 0
+        # ``group or loop`` fallbacks must pick the (empty) group.
+        assert (group or loop) is group

@@ -178,3 +178,90 @@ class TestReceiverCredit:
     def test_invalid_buffer(self):
         with pytest.raises(ParameterError):
             ReceiverCredit(buffer_bytes=0)
+
+
+class TestTryAdmit:
+    """The no-alloc admit-or-decline fast path shared by all enforcers."""
+
+    def test_rate_admit_does_request_bookkeeping(self):
+        context = SimContext()
+        enforcer = RateBasedEnforcer(context, enforced_params(capacity=1000))
+        assert enforcer.try_admit(600)
+        assert enforcer._in_window == 600
+        # A queued request sees exactly the state request() would leave.
+        sent = []
+        enforcer.request(600, lambda: sent.append(context.now))
+        assert sent == []
+        context.run()
+        assert sent and sent[0] > 0.0
+
+    def test_rate_declines_when_window_full(self):
+        context = SimContext()
+        enforcer = RateBasedEnforcer(context, enforced_params(capacity=1000))
+        assert enforcer.try_admit(1000)
+        assert not enforcer.try_admit(1)
+        assert enforcer._in_window == 1000  # declined admit left no trace
+
+    def test_rate_declines_when_contested(self):
+        context = SimContext()
+        enforcer = RateBasedEnforcer(context, enforced_params(capacity=1000))
+        enforcer.request(1000, lambda: None)
+        enforcer.request(100, lambda: None)  # queued behind the window
+        assert enforcer.queued == 1
+        # FIFO fairness: nothing may jump the queue via the fast path.
+        assert not enforcer.try_admit(1)
+
+    def test_rate_evicts_aged_history(self):
+        context = SimContext()
+        enforcer = RateBasedEnforcer(context, enforced_params(capacity=1000, delay=0.1))
+        assert enforcer.try_admit(1000)
+        context.loop.call_after(1.0, lambda: None)
+        context.run()
+        assert enforcer.try_admit(1000)
+
+    def test_rate_oversize_raises_like_request(self):
+        context = SimContext()
+        enforcer = RateBasedEnforcer(context, enforced_params(capacity=1000))
+        with pytest.raises(ParameterError):
+            enforcer.try_admit(1001)
+
+    def test_window_admit_and_decline(self):
+        context = SimContext()
+        enforcer = WindowEnforcer(context, capacity=1000)
+        assert enforcer.try_admit(800)
+        assert enforcer.outstanding == 800
+        assert not enforcer.try_admit(300)
+        enforcer.acknowledge(800)
+        assert enforcer.try_admit(300)
+
+    def test_window_declines_when_contested(self):
+        context = SimContext()
+        enforcer = WindowEnforcer(context, capacity=1000)
+        enforcer.request(1000, lambda: None)
+        enforcer.request(10, lambda: None)
+        assert not enforcer.try_admit(1)
+
+    def test_window_oversize_raises(self):
+        context = SimContext()
+        enforcer = WindowEnforcer(context, capacity=1000)
+        with pytest.raises(ParameterError):
+            enforcer.try_admit(1001)
+
+    def test_credit_admit_and_decline(self):
+        credit = ReceiverCredit(buffer_bytes=1000)
+        assert credit.try_admit(900)
+        assert credit.available == 100
+        assert not credit.try_admit(200)
+        credit.grant(900)
+        assert credit.try_admit(200)
+
+    def test_credit_declines_when_contested(self):
+        credit = ReceiverCredit(buffer_bytes=1000)
+        credit.request(1000, lambda: None)
+        credit.request(10, lambda: None)
+        assert not credit.try_admit(1)
+
+    def test_credit_oversize_raises(self):
+        credit = ReceiverCredit(buffer_bytes=100)
+        with pytest.raises(ParameterError):
+            credit.try_admit(200)
