@@ -140,13 +140,20 @@ def build_lan(
     nodes=("a", "b"),
     cpu_policy: str = "edf",
     observe: bool = False,
+    batch_dispatch: bool = True,
     **net_kwargs,
 ) -> DashSystem:
-    """A DASH system on one Ethernet segment."""
+    """A DASH system on one Ethernet segment.
+
+    ``batch_dispatch`` reaches the event loop; ``link_batching`` (via
+    ``net_kwargs``) reaches the Ethernet segment -- together they are the
+    E20 ablation knobs.
+    """
     defaults = dict(trusted=True)
     defaults.update(net_kwargs)
     system = DashSystem(
-        seed=seed, st_config=st_config, cpu_policy=cpu_policy, observe=observe
+        seed=seed, st_config=st_config, cpu_policy=cpu_policy,
+        observe=observe, batch_dispatch=batch_dispatch,
     )
     system.add_ethernet(**defaults)
     for name in nodes:
@@ -164,6 +171,7 @@ def build_wan(
     receiver: str = "z",
     st_config: Optional[StConfig] = None,
     observe: bool = False,
+    batch_dispatch: bool = True,
     **net_kwargs,
 ) -> DashSystem:
     """A DASH system on a dumbbell internetwork.
@@ -173,7 +181,10 @@ def build_wan(
     """
     defaults = dict(trusted=True)
     defaults.update(net_kwargs)
-    system = DashSystem(seed=seed, st_config=st_config, observe=observe)
+    system = DashSystem(
+        seed=seed, st_config=st_config, observe=observe,
+        batch_dispatch=batch_dispatch,
+    )
     internet = system.add_internet(**defaults)
     internet.add_router("g1")
     internet.add_router("g2")

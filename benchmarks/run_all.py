@@ -39,6 +39,7 @@ EXPERIMENTS = [
     "bench_e17_resilience",
     "bench_e18_fastpath",
     "bench_e19_msgpath",
+    "bench_e20_batchdispatch",
 ]
 
 

@@ -63,7 +63,10 @@ def main() -> None:
 
     system.context.spawn(client_a_script())
     system.context.spawn(client_b_script())
-    system.run(until=10.0)
+    # Drain until the scripts finish: stop once only far-out
+    # housekeeping (channel timers) remains, instead of guessing a
+    # fixed horizon.
+    system.run(while_pending=True, idle_grace=1.0)
 
     for label, value in results:
         print(f"{label}: {value!r}")

@@ -52,6 +52,7 @@ class InternetNetwork(Network):
         source_quench: bool = False,
         quench_threshold: float = 0.75,
         queue_policy: str = "edf",
+        link_batching: bool = True,
     ) -> None:
         properties = NetworkProperties(
             trusted=trusted,
@@ -68,6 +69,7 @@ class InternetNetwork(Network):
         self._adjacency: Dict[str, List[str]] = {}
         self._route_cache: Dict[Tuple[str, str], List[str]] = {}
         self.queue_policy = queue_policy
+        self.link_batching = link_batching
         self.source_quench = source_quench
         self.quench_threshold = quench_threshold
         self.quenches_sent = 0
@@ -112,6 +114,7 @@ class InternetNetwork(Network):
                 impairment=ImpairmentModel(
                     bit_error_rate=bit_error_rate, frame_loss_rate=frame_loss_rate
                 ),
+                batch_transmit=self.link_batching,
             )
             self._links[(src, dst)] = link
             self._pools[(src, dst)] = AdmissionController(

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from typing import Optional, Set, Union
 
+from repro.errors import ParameterError
 from repro.obs import NullObservability, Observability
-from repro.sim.events import EventLoop, Signal
+from repro.sim.events import DEFAULT_IDLE_MAX_EVENTS, EventLoop, Signal
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import NullTracer, Tracer
@@ -28,8 +29,9 @@ class SimContext:
         trace_categories: Optional[Set[str]] = None,
         observe: bool = False,
         obs: Optional[Union[Observability, NullObservability]] = None,
+        batch_dispatch: bool = True,
     ) -> None:
-        self.loop = EventLoop()
+        self.loop = EventLoop(batch_dispatch=batch_dispatch)
         self.rng = RandomStreams(seed)
         self.tracer: Union[Tracer, NullTracer]
         if trace:
@@ -59,10 +61,34 @@ class SimContext:
     def signal(self) -> Signal:
         return Signal(self.loop)
 
-    def run(self, until: Optional[float] = None) -> float:
-        return self.loop.run(until=until)
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        while_pending: bool = False,
+        idle_grace: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Drive the simulation: the one keyword-selected entry point.
 
-    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        ``run(until=t)`` runs every event with time <= t; ``run
+        (while_pending=True)`` drains the loop in a single call, stopping
+        early when ``idle_grace`` is given and the next live event lies
+        further than that past the clock.
+        """
+        if while_pending:
+            if until is not None:
+                raise ParameterError(
+                    "run() takes either until or while_pending=True, not both"
+                )
+            return self.loop.run_while_pending(
+                idle_grace=idle_grace, max_events=max_events
+            )
+        if idle_grace is not None:
+            raise ParameterError("idle_grace requires while_pending=True")
+        return self.loop.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = DEFAULT_IDLE_MAX_EVENTS) -> float:
         return self.loop.run_until_idle(max_events=max_events)
 
     def __repr__(self) -> str:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import weakref
 from typing import ClassVar, Dict, Optional, TYPE_CHECKING, Union
 
-from repro.core.message import Label, Message
+from repro.core.message import Label, Message, fast_message
 from repro.core.params import RmsParams
 from repro.core.rms import Rms, RmsLevel, RmsState
 from repro.sim.context import SimContext
@@ -112,7 +112,7 @@ class StRms(Rms):
         if isinstance(payload, Message):
             message = payload
         else:
-            message = Message(payload, source=self.sender, target=self.receiver)
+            message = fast_message(payload, self.sender, self.receiver)
         params = self.params
         size = len(message.payload)
         if size > params.max_message_size:

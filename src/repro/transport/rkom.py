@@ -17,10 +17,11 @@ from __future__ import annotations
 import itertools
 import struct
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.core.pool import ObjectPool
 from repro.errors import RkomTimeoutError, RmsFailedError, TransportError
 from repro.sim.context import SimContext
 from repro.sim.events import GroupTimer, Signal, TimerGroup
@@ -28,7 +29,7 @@ from repro.sim.process import Future
 from repro.subtransport.st import SubtransportLayer
 from repro.subtransport.strms import StRms
 
-__all__ = ["RkomConfig", "RkomStats", "RkomService"]
+__all__ = ["CallHandle", "RkomConfig", "RkomStats", "RkomService"]
 
 LOW_PORT = "rkom-lo"
 HIGH_PORT = "rkom-hi"
@@ -65,15 +66,78 @@ class RkomStats:
     requests_served: int = 0
 
 
-@dataclass
-class _PendingCall:
-    future: Future
-    frame: bytes
-    peer: str
-    retries: int = 0
-    timeout: float = 0.0
-    timer: Optional[GroupTimer] = None
-    trace_id: Optional[int] = None  # observability span of the whole call
+class CallHandle(Future):
+    """The result of :meth:`RkomService.call`.
+
+    It *is* the future the old API returned (``yield handle``,
+    ``.result()``, ``.done``, ``.failed``, ``add_done_callback`` all work
+    unchanged) plus call-control surface: ``.future`` (itself, for
+    callers that want to be explicit), ``.cancel()`` to abandon the call
+    and stop its retransmissions, and ``.elapsed`` for latency
+    measurement.
+    """
+
+    def __init__(
+        self, service: "RkomService", request_id: int, started_at: float
+    ) -> None:
+        Future.__init__(self, service.context.loop)
+        self._service = service
+        self._request_id = request_id
+        self.started_at = started_at
+        self.finished_at: Optional[float] = None
+
+    @property
+    def future(self) -> "CallHandle":
+        """The underlying future -- this object itself."""
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds from the call to its resolution (or to now while
+        still in flight)."""
+        end = self.finished_at
+        if end is None:
+            end = self._loop._now
+        return end - self.started_at
+
+    def cancel(self) -> bool:
+        """Abandon the call: drop its pending record, stop its timeout/
+        retransmission timer, and fail the future.  Returns ``False``
+        when the call already resolved."""
+        if self.done:
+            return False
+        self._service._cancel_call(self._request_id, self)
+        return True
+
+    def _resolve(self, state: str, value: Any) -> None:
+        self.finished_at = self._loop._now
+        Future._resolve(self, state, value)
+
+    def __repr__(self) -> str:
+        return f"<CallHandle #{self._request_id} {self._state}>"
+
+
+class _CallRecord:
+    """Pooled per-call server-side state of one outstanding request.
+
+    Replaces the old per-call ``_PendingCall`` dataclass; records are
+    recycled through an :class:`ObjectPool`, so a steady request/reply
+    stream allocates one :class:`CallHandle` per call and nothing else.
+    The releasing site clears the reference fields (pool discipline: a
+    pooled record never pins a frame or handle).
+    """
+
+    __slots__ = ("handle", "frame", "peer", "retries", "timeout", "timer",
+                 "trace_id")
+
+    def __init__(self) -> None:
+        self.handle: Optional[CallHandle] = None
+        self.frame: bytes = b""
+        self.peer: str = ""
+        self.retries: int = 0
+        self.timeout: float = 0.0
+        self.timer: Optional[GroupTimer] = None
+        self.trace_id: Optional[int] = None  # observability span of the call
 
 
 class _Channel:
@@ -101,7 +165,13 @@ class RkomService:
         self.stats = RkomStats()
         self.handlers: Dict[str, Callable[[bytes, str], Any]] = {}
         self._channels: Dict[str, _Channel] = {}
-        self._pending: Dict[int, _PendingCall] = {}
+        self._pending: Dict[int, _CallRecord] = {}
+        #: Recycled call records -- the request-path counterpart of the
+        #: frame/handle pools elsewhere in the stack.
+        self._records: ObjectPool[_CallRecord] = ObjectPool(cap=512)
+        #: op-name -> encoded bytes; op names are a small fixed set, so
+        #: the per-call ``str.encode`` disappears after warm-up.
+        self._op_cache: Dict[str, bytes] = {}
         #: All call timeouts coalesced onto one loop timer (the timeout
         #: deadline churns on every retransmission and reply).
         self._timers = TimerGroup(context.loop)
@@ -128,54 +198,87 @@ class RkomService:
         op: str,
         payload: bytes = b"",
         timeout: Optional[float] = None,
-    ) -> Future:
-        """Invoke ``op`` on ``peer_host``; resolves to the reply bytes."""
+    ) -> CallHandle:
+        """Invoke ``op`` on ``peer_host``.
+
+        Returns a :class:`CallHandle` -- a :class:`Future` resolving to
+        the reply bytes, with ``.cancel()`` and ``.elapsed`` on top.
+        """
         request_id = next(_request_ids)
-        op_bytes = op.encode("utf-8")
-        frame = _HEADER.pack(_KIND_REQUEST, request_id, len(op_bytes)) + op_bytes + payload
-        pending = _PendingCall(
-            future=Future(self.context.loop),
-            frame=frame,
-            peer=peer_host,
-            timeout=timeout or self.config.request_timeout,
+        op_bytes = self._op_cache.get(op)
+        if op_bytes is None:
+            op_bytes = self._op_cache[op] = op.encode("utf-8")
+        handle = CallHandle(self, request_id, self.context.now)
+        record = self._records.acquire()
+        if record is None:
+            record = _CallRecord()
+        record.handle = handle
+        record.frame = (
+            _HEADER.pack(_KIND_REQUEST, request_id, len(op_bytes))
+            + op_bytes
+            + payload
         )
-        self._pending[request_id] = pending
+        record.peer = peer_host
+        record.retries = 0
+        record.timeout = timeout or self.config.request_timeout
+        self._pending[request_id] = record
         self.stats.calls += 1
         obs = self.context.obs
         if obs.enabled:
-            pending.trace_id = obs.spans.new_trace()
+            record.trace_id = obs.spans.new_trace()
             obs.metrics.counter("rkom_calls", host=self.st.host.name).inc()
             obs.spans.event(
-                pending.trace_id, "rkom", "call",
+                record.trace_id, "rkom", "call",
                 host=self.st.host.name, peer=peer_host, op=op,
             )
         self._with_channel(
             peer_host, lambda channel: self._send_request(request_id, channel)
         )
-        return pending.future
+        return handle
+
+    def _release_record(self, record: _CallRecord) -> None:
+        """Return a finished record to the pool with its refs cleared."""
+        record.handle = None
+        record.frame = b""
+        record.peer = ""
+        record.timer = None
+        record.trace_id = None
+        self._records.release(record)
+
+    def _cancel_call(self, request_id: int, handle: CallHandle) -> None:
+        """Abandon an in-flight call (CallHandle.cancel)."""
+        record = self._pending.get(request_id)
+        peer = "peer"
+        if record is not None and record.handle is handle:
+            del self._pending[request_id]
+            if record.timer is not None:
+                record.timer.cancel()
+            peer = record.peer
+            self._release_record(record)
+        handle.set_exception(TransportError(f"RKOM call to {peer} cancelled"))
 
     def _send_request(self, request_id: int, channel: _Channel) -> None:
-        pending = self._pending.get(request_id)
-        if pending is None:
+        record = self._pending.get(request_id)
+        if record is None:
             return
         # Initial requests ride the low-delay RMS.
         try:
-            channel.low.send(pending.frame)
+            channel.low.send(record.frame)
         except RmsFailedError:
             # The channel died between "ready" and this action running;
             # the timeout path re-establishes it and retransmits.
             pass
-        pending.timer = self._timers.call_after(
-            pending.timeout, self._timeout_fired, request_id
+        record.timer = self._timers.call_after(
+            record.timeout, self._timeout_fired, request_id
         )
 
     def _timeout_fired(self, request_id: int) -> None:
-        pending = self._pending.get(request_id)
-        if pending is None:
+        record = self._pending.get(request_id)
+        if record is None:
             return
-        pending.retries += 1
+        record.retries += 1
         obs = self.context.obs
-        if pending.retries > self.config.max_retransmits:
+        if record.retries > self.config.max_retransmits:
             self._pending.pop(request_id, None)
             self.stats.timeouts += 1
             if obs.enabled:
@@ -183,12 +286,15 @@ class RkomService:
                     "rkom_timeouts", host=self.st.host.name
                 ).inc()
                 obs.spans.event(
-                    pending.trace_id, "rkom", "timeout",
-                    host=self.st.host.name, retries=pending.retries - 1,
+                    record.trace_id, "rkom", "timeout",
+                    host=self.st.host.name, retries=record.retries - 1,
                 )
-            pending.future.set_exception(
+            handle = record.handle
+            peer = record.peer
+            self._release_record(record)
+            handle.set_exception(
                 RkomTimeoutError(
-                    f"no reply from {pending.peer} after "
+                    f"no reply from {peer} after "
                     f"{self.config.max_retransmits} retransmissions"
                 )
             )
@@ -199,26 +305,26 @@ class RkomService:
                 "rkom_retransmissions", host=self.st.host.name
             ).inc()
             obs.spans.event(
-                pending.trace_id, "rkom", "retransmit",
-                host=self.st.host.name, attempt=pending.retries,
+                record.trace_id, "rkom", "retransmit",
+                host=self.st.host.name, attempt=record.retries,
             )
-        channel = self._channels.get(pending.peer)
+        channel = self._channels.get(record.peer)
         if channel is not None and channel.state == "ready":
             # Retransmissions ride the high-delay RMS.
             try:
-                channel.high.send(pending.frame)
+                channel.high.send(record.frame)
             except RmsFailedError:
                 pass  # the failure listener resets the channel; see below
         else:
             # The channel died (or never finished); re-establish it and
             # retransmit through the fresh one if the call still waits.
             self._with_channel(
-                pending.peer,
+                record.peer,
                 lambda ch, rid=request_id: self._resend_if_pending(rid, ch),
             )
-        pending.timeout *= self.config.backoff
-        pending.timer = self._timers.call_after(
-            pending.timeout, self._timeout_fired, request_id
+        record.timeout *= self.config.backoff
+        record.timer = self._timers.call_after(
+            record.timeout, self._timeout_fired, request_id
         )
 
     # ------------------------------------------------------------------
@@ -279,21 +385,23 @@ class RkomService:
             )
             obs = self.context.obs
             for request_id in list(self._pending):
-                pending = self._pending[request_id]
-                if pending.peer == peer_host:
+                record = self._pending[request_id]
+                if record.peer == peer_host:
                     self._pending.pop(request_id, None)
-                    if pending.timer is not None:
-                        pending.timer.cancel()
+                    if record.timer is not None:
+                        record.timer.cancel()
                     self.stats.timeouts += 1
                     if obs.enabled:
                         obs.metrics.counter(
                             "rkom_timeouts", host=self.st.host.name
                         ).inc()
                         obs.spans.event(
-                            pending.trace_id, "rkom", "timeout",
+                            record.trace_id, "rkom", "timeout",
                             host=self.st.host.name, reason="no-channel",
                         )
-                    pending.future.set_exception(error)
+                    handle = record.handle
+                    self._release_record(record)
+                    handle.set_exception(error)
             self.on_channel_event.fire(peer_host, "failed")
             return
         channel.state = "ready"
@@ -307,11 +415,11 @@ class RkomService:
             action(channel)
 
     def _resend_if_pending(self, request_id: int, channel: _Channel) -> None:
-        pending = self._pending.get(request_id)
-        if pending is None:
+        record = self._pending.get(request_id)
+        if record is None:
             return
         try:
-            channel.high.send(pending.frame)
+            channel.high.send(record.frame)
         except RmsFailedError:
             pass
 
@@ -355,11 +463,11 @@ class RkomService:
             payload = body[op_length:]
             self._serve(source_host, request_id, op, payload)
         elif kind == _KIND_REPLY:
-            pending = self._pending.pop(request_id, None)
-            if pending is None:
+            record = self._pending.pop(request_id, None)
+            if record is None:
                 return
-            if pending.timer is not None:
-                pending.timer.cancel()
+            if record.timer is not None:
+                record.timer.cancel()
             self.stats.replies += 1
             obs = self.context.obs
             if obs.enabled:
@@ -367,10 +475,12 @@ class RkomService:
                     "rkom_replies", host=self.st.host.name
                 ).inc()
                 obs.spans.event(
-                    pending.trace_id, "rkom", "reply",
+                    record.trace_id, "rkom", "reply",
                     host=self.st.host.name, peer=source_host,
                 )
-            pending.future.set_result(body)
+            handle = record.handle
+            self._release_record(record)
+            handle.set_result(body)
             self._send_ack(source_host, request_id)
         elif kind == _KIND_ACK:
             self._served.pop((source_host, request_id), None)

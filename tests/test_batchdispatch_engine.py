@@ -1,0 +1,215 @@
+"""Tests for the batch-dispatch engine: bulk drains and link transmit
+batching must be behavior-preserving, and the unified drive API must
+terminate and validate as documented."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dash._deprecation import reset_deprecation_warnings
+from repro.dash.system import DashSystem
+from repro.errors import ParameterError, SchedulingError, TransportError
+from repro.sim.events import EventLoop
+from repro.transport.rkom import CallHandle
+
+
+def _lossy_trace(batch_dispatch, link_batching, messages=60, loss=0.05):
+    """A fixed-seed lossy run; returns the delivery trace and end time.
+
+    Same workload as the PR 4 coalescing-equivalence suite: small bursty
+    payloads exercise piggyback flush deadlines, frame loss exercises the
+    ST retransmission timers, and both knobs of the E20 engine reorder
+    nothing if they preserve the (time, seq) dispatch order.
+    """
+    system = DashSystem(seed=7, batch_dispatch=batch_dispatch)
+    system.add_ethernet(trusted=True, frame_loss_rate=loss,
+                        link_batching=link_batching)
+    system.add_node("a")
+    system.add_node("b")
+    session = system.connect("a", "b", port="trace")
+    system.run(until=2.0)
+    rms = session.established.result()
+    deliveries = []
+    rms.port.set_handler(
+        lambda message: deliveries.append((bytes(message.payload), system.now))
+    )
+    for index in range(messages):
+        rms.send(bytes([index % 251]) * 64)
+        if index % 8 == 7:
+            system.run(until=system.now + 0.05)
+    system.run(until=system.now + 2.0)
+    return deliveries, system.now
+
+
+class TestBatchDispatchEquivalence:
+    """The batched inner loop and link transmit bursts deliver the exact
+    byte sequence, at the exact times, of the per-event legacy path."""
+
+    def test_lossy_trace_identical_vs_legacy_dispatcher(self):
+        engine, _ = _lossy_trace(True, True)
+        legacy, _ = _lossy_trace(False, False)
+        assert engine == legacy
+
+    def test_lossy_trace_identical_without_batch_dispatch(self):
+        engine, _ = _lossy_trace(True, True)
+        no_batch, _ = _lossy_trace(False, True)
+        assert engine == no_batch
+
+    def test_lossy_trace_identical_without_link_batching(self):
+        engine, _ = _lossy_trace(True, True)
+        no_link, _ = _lossy_trace(True, False)
+        assert engine == no_link
+
+    def test_lossless_trace_identical(self):
+        engine, _ = _lossy_trace(True, True, loss=0.0)
+        legacy, _ = _lossy_trace(False, False, loss=0.0)
+        assert engine == legacy
+        assert len(engine) == 60
+
+
+class TestRunWhilePending:
+    def test_idle_schedule_drains_and_returns_last_event_time(self):
+        loop = EventLoop(batch_dispatch=True)
+        fired = []
+        loop.call_at(0.5, fired.append, "a")
+        loop.call_at(1.5, fired.append, "b")
+        assert loop.run_while_pending() == 1.5
+        assert fired == ["a", "b"]
+        assert loop.pending_events == 0
+
+    def test_timer_only_schedule_terminates(self):
+        # Nothing but timers: the drain must advance the clock through
+        # every slot and the far heap, then stop on its own.
+        loop = EventLoop(batch_dispatch=True)
+        fired = []
+        for i in range(200):
+            loop.call_at(i * 0.01, fired.append, i)
+        loop.call_at(600.0, fired.append, "far")  # beyond the wheel horizon
+        end = loop.run_while_pending()
+        assert end == 600.0
+        assert fired[-1] == "far"
+        assert len(fired) == 201
+
+    def test_idle_grace_leaves_chaos_schedule_pending(self):
+        # A far-out "chaos" event must not keep the drain alive once the
+        # near-term work is done.
+        loop = EventLoop(batch_dispatch=True)
+        fired = []
+        loop.call_at(0.01, fired.append, "near")
+        loop.call_at(120.0, fired.append, "chaos")
+        end = loop.run_while_pending(idle_grace=1.0)
+        assert fired == ["near"]
+        assert end == 0.01
+        assert loop.pending_events == 1
+
+    def test_runaway_schedule_raises_scheduling_error(self):
+        loop = EventLoop(batch_dispatch=True)
+
+        def rearm() -> None:
+            loop.call_soon(rearm)
+
+        loop.call_soon(rearm)
+        with pytest.raises(SchedulingError):
+            loop.run_while_pending(max_events=500)
+
+    def test_system_run_while_pending_with_grace_terminates(self):
+        # End-to-end: a DASH system holds long-lived housekeeping timers
+        # (channel retransmission deadlines), so only the graced form of
+        # the drain is guaranteed to stop.
+        system = DashSystem(seed=9)
+        system.add_ethernet(trusted=True)
+        system.add_node("a")
+        system.add_node("b")
+        session = system.connect("a", "b", port="drain")
+        system.run(until=2.0)
+        rms = session.established.result()
+        got = []
+        rms.port.set_handler(lambda message: got.append(bytes(message.payload)))
+        rms.send(b"x" * 32)
+        system.run(while_pending=True, idle_grace=0.5)
+        assert got == [b"x" * 32]
+
+
+class TestRunValidation:
+    def _system(self):
+        system = DashSystem(seed=3)
+        system.add_ethernet(trusted=True)
+        return system
+
+    def test_until_and_while_pending_are_exclusive(self):
+        with pytest.raises(ParameterError):
+            self._system().run(until=1.0, while_pending=True)
+
+    def test_idle_grace_requires_while_pending(self):
+        with pytest.raises(ParameterError):
+            self._system().run(until=1.0, idle_grace=0.5)
+
+    def test_run_until_idle_warns_once_and_delegates(self):
+        reset_deprecation_warnings()
+        system = self._system()
+        system.context.loop.call_at(0.25, lambda: None)
+        with pytest.warns(DeprecationWarning, match="run_until_idle"):
+            assert system.run_until_idle() == 0.25
+        # warn-once: a second call stays silent.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            system.run_until_idle()
+
+
+class TestCallHandle:
+    def _rkom_pair(self):
+        system = DashSystem(seed=13)
+        system.add_ethernet(trusted=True)
+        node_a = system.add_node("a")
+        node_b = system.add_node("b")
+        return system, node_a, node_b
+
+    def test_call_returns_handle_that_is_its_own_future(self):
+        system, node_a, node_b = self._rkom_pair()
+        node_b.rkom.register_handler("echo", lambda payload, sender: payload)
+        handle = system.connect(node_a, node_b, kind="rkom").call("echo", b"hi")
+        assert isinstance(handle, CallHandle)
+        assert handle.future is handle  # the old bare-Future contract
+        system.run(until=2.0)
+        assert handle.result() == b"hi"
+
+    def test_elapsed_tracks_flight_and_stamps_on_resolution(self):
+        system, node_a, node_b = self._rkom_pair()
+        node_b.rkom.register_handler("echo", lambda payload, sender: payload)
+        handle = system.connect(node_a, node_b, kind="rkom").call("echo", b"x")
+        system.run(until=0.001)
+        in_flight = handle.elapsed
+        assert in_flight > 0.0
+        system.run(until=2.0)
+        done = handle.elapsed
+        assert done >= in_flight
+        system.run(until=3.0)
+        assert handle.elapsed == done  # stamped, not still ticking
+
+    def test_cancel_fails_future_and_releases_record(self):
+        from repro.sim.process import Future
+
+        system, node_a, node_b = self._rkom_pair()
+        node_b.rkom.register_handler(
+            "hang", lambda payload, sender: Future(system.context.loop)
+        )
+        handle = system.connect(node_a, node_b, kind="rkom").call("hang", b"?")
+        system.run(until=0.001)
+        assert handle.cancel() is True
+        assert not node_a.rkom._pending
+        with pytest.raises(TransportError, match="cancelled"):
+            handle.result()
+        # A resolved call cannot be cancelled again.
+        assert handle.cancel() is False
+        # The loop stays healthy: no orphan timeout fires later.
+        system.run(until=60.0)
+
+    def test_cancel_after_reply_returns_false(self):
+        system, node_a, node_b = self._rkom_pair()
+        node_b.rkom.register_handler("echo", lambda payload, sender: payload)
+        handle = system.connect(node_a, node_b, kind="rkom").call("echo", b"ok")
+        system.run(until=2.0)
+        assert handle.result() == b"ok"
+        assert handle.cancel() is False
