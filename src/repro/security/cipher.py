@@ -85,6 +85,13 @@ class StreamCipher:
 
     def keystream(self, nonce: int, length: int) -> bytes:
         """``length`` keystream bytes for the given nonce."""
+        if (length + 7) // 8 > 1 << 32:
+            # The counter word is 32 bits wide; one more block would
+            # wrap it and silently reuse keystream from counter 0.
+            raise SecurityError(
+                "keystream exhausted: counter block overflow at "
+                f"{length} bytes (max {1 << 32} blocks of 8 bytes per nonce)"
+            )
         k = self._k
         v0 = nonce & _MASK
         pack = struct.pack

@@ -25,9 +25,12 @@ def compute_mac(key: bytes, data: bytes, context: bytes = b"") -> bytes:
     """An 8-byte CBC-MAC tag over ``context || len || data``.
 
     The length prefix prevents trivial extension ambiguity between the
-    context (e.g. the source label) and the payload.
+    context (e.g. the source label) and the payload.  ``data`` may be
+    any bytes-like object: the material is assembled with one ``join``
+    (no concatenation chain), so ``memoryview`` payloads from the
+    zero-copy datapath are read without an intermediate ``bytes()``.
     """
-    material = context + struct.pack(">I", len(data)) + data
+    material = b"".join((context, struct.pack(">I", len(data)), data))
     if len(material) % 8:
         material += b"\x00" * (8 - len(material) % 8)
     # CBC chaining on 64-bit integers: the key schedule is unpacked once

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, SecurityError
+from repro.security.providers import resolve_provider
 
 __all__ = ["StConfig"]
 
@@ -72,6 +73,12 @@ class StConfig:
     #: legacy path; only wall-clock cost changes.  Off = the PR 3
     #: baseline that bench E19 compares against.
     message_fastpath: bool = True
+    #: Which :mod:`repro.security.providers` engine negotiated channels
+    #: bind for their software transforms: ``"xtea-ct"`` (vectorized
+    #: default), ``"xtea-ct-ref"`` (scalar oracle, byte-identical
+    #: output -- the bench E21 ablation), ``"null"``/``"hw"`` (elided).
+    #: Resolved once per ST RMS at negotiation time.
+    security_provider: str = "xtea-ct"
 
     def __post_init__(self) -> None:
         if self.send_stage_allowance < 0 or self.recv_stage_allowance < 0:
@@ -82,3 +89,7 @@ class StConfig:
             raise ParameterError("cache size must be >= 0")
         if self.control_delay_bound <= 0:
             raise ParameterError("control delay bound must be > 0")
+        try:
+            resolve_provider(self.security_provider)
+        except SecurityError as exc:
+            raise ParameterError(str(exc)) from None

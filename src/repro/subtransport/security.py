@@ -14,21 +14,31 @@ the client's RMS parameters and the underlying network's properties:
 "In any case, the optimal mechanism is used ...  If a client does not
 require privacy, no mechanism is used (which is again optimal).  Without
 the RMS security parameters, this optimization would not be possible."
+
+The *implementation* of the chosen mechanisms is itself negotiated: the
+host configuration names a :mod:`repro.security.providers` entry
+(``StConfig(security_provider=...)``), :func:`plan_security` resolves it
+exactly once, and the plan records both the name (for reporting) and the
+resolved factory, so :class:`SecurityContext` binds provider methods --
+never module globals -- on the data path.
 """
 
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Union
 
 from repro.core.params import RmsParams
 from repro.netsim.network import Network
 from repro.security.checksum import crc32
-from repro.security.cipher import StreamCipher
-from repro.security.mac import MAC_BYTES, compute_mac, verify_mac
+from repro.security.mac import MAC_BYTES
+from repro.security.providers import SecurityProvider, resolve_provider
 
-__all__ = ["SecurityContext", "SecurityPlan", "plan_security"]
+__all__ = ["DEFAULT_PROVIDER", "SecurityContext", "SecurityPlan", "plan_security"]
+
+#: The provider negotiated when the host configuration names none.
+DEFAULT_PROVIDER = "xtea-ct"
 
 _CHECKSUM_BYTES = 4
 _PACK_U32 = struct.Struct(">I").pack
@@ -45,14 +55,32 @@ class SecurityPlan:
     #: medium provides them, so the ST can skip the software mechanism).
     network_privacy: bool
     network_authentication: bool
+    #: Name of the negotiated transform provider (section 2.5 extended:
+    #: the *implementation* is a channel parameter too).
+    provider: str = DEFAULT_PROVIDER
+    #: The factory :func:`plan_security` resolved for ``provider``.
+    #: Resolution happens once at negotiation; contexts built from this
+    #: plan never consult the registry again.
+    factory: Optional[Callable[[bytes], SecurityProvider]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def any_software_mechanism(self) -> bool:
         return self.encrypt or self.mac or self.checksum
 
 
-def plan_security(params: RmsParams, network: Network) -> SecurityPlan:
-    """Decide mechanisms for an ST RMS with ``params`` over ``network``."""
+def plan_security(
+    params: RmsParams,
+    network: Network,
+    provider: str = DEFAULT_PROVIDER,
+) -> SecurityPlan:
+    """Decide mechanisms for an ST RMS with ``params`` over ``network``.
+
+    ``provider`` names the transform implementation to negotiate; it is
+    resolved here (raising ``SecurityError`` on an unknown name) so a
+    misconfigured host fails at negotiation, not mid-message.
+    """
     properties = network.properties
     medium_private = properties.trusted or properties.link_encryption
     medium_authentic = properties.trusted or properties.link_encryption
@@ -67,6 +95,8 @@ def plan_security(params: RmsParams, network: Network) -> SecurityPlan:
         checksum=checksum,
         network_privacy=params.privacy and medium_private,
         network_authentication=params.authentication and medium_authentic,
+        provider=provider,
+        factory=resolve_provider(provider),
     )
 
 
@@ -74,10 +104,14 @@ class SecurityContext:
     """Per-ST-RMS security state, built once at negotiation time.
 
     The legacy data path re-derived everything per message: a fresh
-    :class:`StreamCipher` (key-schedule check), an f-string MAC context,
-    and one branch per plan flag.  The context hoists all of it to
-    creation: the cipher object, the encoded MAC-context prefix, the
-    wire-flag word, and the tag overhead are computed here exactly once.
+    cipher (key-schedule check), an f-string MAC context, and one branch
+    per plan flag.  The context hoists all of it to creation: the bound
+    provider instance (key schedule and round constants derived once),
+    the encoded MAC-context prefix, the wire-flag word, and the tag
+    overhead are computed here exactly once.  ``seal``/``open``/``mac``/
+    ``verify`` are the *provider's* bound methods -- swapping
+    ``StConfig(security_provider=...)`` swaps the whole transform engine
+    with no change to this class or its callers.
 
     On a parameter-elided channel (section 2.4: the client asked for no
     security, or the medium provides it) ``protect`` and ``unprotect``
@@ -86,8 +120,9 @@ class SecurityContext:
     every configuration.
     """
 
-    __slots__ = ("plan", "key", "rms_id", "flags", "overhead", "cipher",
-                 "_mac_prefix", "protect", "unprotect")
+    __slots__ = ("plan", "key", "rms_id", "flags", "overhead", "provider",
+                 "_seal", "_open", "_mac", "_verify", "_mac_prefix",
+                 "protect", "unprotect")
 
     def __init__(
         self, plan: SecurityPlan, session_key: bytes, sender_label: object,
@@ -116,7 +151,15 @@ class SecurityContext:
         self.overhead = overhead
         # Built unconditionally: a mismatched wire flag (corruption) must
         # still decrypt-attempt rather than crash the receive path.
-        self.cipher = StreamCipher(session_key)
+        factory = plan.factory
+        if factory is None:  # plans built by hand in tests
+            factory = resolve_provider(plan.provider)
+        provider = factory(session_key)
+        self.provider = provider
+        self._seal = provider.seal
+        self._open = provider.open
+        self._mac = provider.mac
+        self._verify = provider.verify
         self._mac_prefix = (
             f"{sender_label}|".encode("utf-8") if plan.mac else b""
         )
@@ -133,6 +176,22 @@ class SecurityContext:
         # Identical bytes to the legacy f"{sender}|{seq}" construction.
         return self._mac_prefix + str(seq).encode("utf-8")
 
+    # -- granular helpers (the ST's legacy/accounting path uses these so
+    # -- both datapaths run the *same* negotiated provider) -------------
+
+    def transform(self, seq: int, data: Union[bytes, memoryview]) -> bytes:
+        """Encrypt/decrypt one component (counter mode: one transform)."""
+        nonce = (self.rms_id << 32) | (seq & 0xFFFFFFFF)
+        return self._seal(nonce, data)
+
+    def mac_tag(self, seq: int, data: Union[bytes, memoryview]) -> bytes:
+        return self._mac(data, self._mac_context(seq))
+
+    def mac_ok(
+        self, seq: int, data: Union[bytes, memoryview], tag: bytes
+    ) -> bool:
+        return self._verify(data, tag, self._mac_context(seq))
+
     def _protect(
         self, seq: int, data: Union[bytes, memoryview]
     ) -> bytes:
@@ -140,11 +199,15 @@ class SecurityContext:
         plan = self.plan
         if plan.encrypt:
             nonce = (self.rms_id << 32) | (seq & 0xFFFFFFFF)
-            data = self.cipher.apply(nonce, data)
+            data = self._seal(nonce, data)
         if plan.mac:
-            if type(data) is not bytes:
-                data = bytes(data)
-            data = data + compute_mac(self.key, data, self._mac_context(seq))
+            tag = self._mac(data, self._mac_context(seq))
+            if type(data) is bytes:
+                data = data + tag
+            else:
+                # join reads the memoryview directly -- the only copy is
+                # the one that materializes the wire bytes themselves.
+                data = b"".join((data, tag))
         if plan.checksum:
             if type(data) is not bytes:
                 data = bytes(data)
@@ -176,10 +239,10 @@ class SecurityContext:
             if len(data) < MAC_BYTES:
                 return None, "auth"
             body, tag = data[:-MAC_BYTES], data[-MAC_BYTES:]
-            if not verify_mac(self.key, body, tag, self._mac_context(seq)):
+            if not self._verify(body, tag, self._mac_context(seq)):
                 return None, "auth"
             data = body
         if flags & FLAG_ENCRYPTED:
             nonce = (self.rms_id << 32) | (seq & 0xFFFFFFFF)
-            data = self.cipher.apply(nonce, data)
+            data = self._open(nonce, data)
         return data, None

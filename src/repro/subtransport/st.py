@@ -48,8 +48,9 @@ from repro.errors import (
 from repro.netsim.network import Network, NetworkRms
 from repro.netsim.topology import Host
 from repro.security.checksum import crc32
-from repro.security.cipher import StreamCipher
 from repro.security.keys import KeyRegistry
+# The control channel keeps the legacy CBC-MAC envelope; the *data* path
+# runs whatever provider the channel negotiated (see SecurityContext).
 from repro.security.mac import MAC_BYTES, compute_mac, verify_mac
 from repro.sim.context import SimContext
 from repro.sim.events import TimerGroup
@@ -392,7 +393,9 @@ class SubtransportLayer:
         peer = self._peer(peer_host)
         yield self.ensure_control(peer_host)
         actual = negotiate(desired, acceptable, self.st_capability_table(peer_host))
-        plan = plan_security(actual, peer.network)
+        plan = plan_security(
+            actual, peer.network, self.config.security_provider
+        )
         receiver_host = peer.network.hosts[peer_host]
         st_rms = StRms(
             self.context,
@@ -866,7 +869,9 @@ class SubtransportLayer:
 
     def _network_params_for(self, peer: _PeerState, st_params: RmsParams):
         """Derive the network RMS request for a new binding (section 4.2)."""
-        plan = plan_security(st_params, peer.network)
+        plan = plan_security(
+            st_params, peer.network, self.config.security_provider
+        )
         mtu = peer.network.properties.mtu
         guaranteed = st_params.delay_bound_type != DelayBoundType.BEST_EFFORT
         if guaranteed:
@@ -1189,30 +1194,23 @@ class SubtransportLayer:
         trace_id: Optional[int] = None,
     ) -> BundleEntry:
         """Apply the security plan to one component and wrap it."""
-        plan = st_rms.plan
         seq = st_rms.take_seq()
         obs = self.context.obs
         if obs.enabled and trace_id is not None:
             # Correlate the in-flight component with its span so the
             # receiving ST can rejoin the trace (no wire-format change).
             obs.spans.stash((st_rms.rms_id, seq), trace_id)
-        flags = base_flags
-        data = chunk
-        if plan.encrypt:
-            nonce = (st_rms.rms_id << 32) | (seq & 0xFFFFFFFF)
-            data = StreamCipher(st_rms.session_key).apply(nonce, data)
-            flags |= FLAG_ENCRYPTED
-        if plan.mac:
-            if type(data) is not bytes:
-                data = bytes(data)
-            context = f"{st_rms.sender}|{seq}".encode("utf-8")
-            data = data + compute_mac(st_rms.session_key, data, context)
-            flags |= FLAG_MAC
-        if plan.checksum:
-            if type(data) is not bytes:
-                data = bytes(data)
-            data = data + struct.pack(">I", crc32(data))
-            flags |= FLAG_CHECKSUM
+        # The context's protect runs the provider this channel
+        # negotiated, so the legacy and fast datapaths emit identical
+        # wire bytes whichever engine is configured.
+        security = st_rms.security
+        protect = security.protect
+        if protect is None:
+            flags = base_flags
+            data = chunk
+        else:
+            flags = base_flags | security.flags
+            data = protect(seq, chunk)
         return BundleEntry(
             st_rms_id=st_rms.rms_id,
             seq=seq,
@@ -1360,7 +1358,7 @@ class SubtransportLayer:
                 ).inc()
             return
         st_rms = rx.st_rms
-        plan = st_rms.plan
+        security = st_rms.security
         data = entry.payload
         if (
             entry.flags & (FLAG_CHECKSUM | FLAG_MAC | FLAG_ENCRYPTED)
@@ -1385,15 +1383,13 @@ class SubtransportLayer:
                 self.stats.auth_drops += 1
                 return
             body, tag = data[:-MAC_BYTES], data[-MAC_BYTES:]
-            context = f"{st_rms.sender}|{entry.seq}".encode("utf-8")
-            if not verify_mac(st_rms.session_key, body, tag, context):
+            if not security.mac_ok(entry.seq, body, tag):
                 self.stats.auth_drops += 1
                 st_rms._drop(_phantom(body, entry.trace_id), "authentication failure")
                 return
             data = body
         if entry.flags & FLAG_ENCRYPTED:
-            nonce = (entry.st_rms_id << 32) | (entry.seq & 0xFFFFFFFF)
-            data = StreamCipher(st_rms.session_key).apply(nonce, data)
+            data = security.transform(entry.seq, data)
         self.stats.components_received += 1
         if entry.is_fragment:
             self._receive_fragment(rx, entry, data)

@@ -64,9 +64,13 @@ class StRms(Rms):
         self.fast_ack = fast_ack
         self.binding: Optional["MuxBinding"] = None
         self.next_seq = 0
-        #: Per-stream security state, built once at negotiation time
-        #: (cipher, MAC context prefix, wire flags); ``security.protect``
-        #: is ``None`` on parameter-elided channels.
+        #: Per-stream security state, built once at negotiation time:
+        #: the negotiated provider instance (``plan.provider`` names it,
+        #: ``plan.factory`` builds it), MAC context prefix, and wire
+        #: flags.  Both ends of an in-process stream share this one
+        #: object, so sender and receiver always run the same transform
+        #: engine; ``security.protect`` is ``None`` on parameter-elided
+        #: channels.
         self.security = SecurityContext(plan, session_key, sender, self.rms_id)
         # Hot-path caches: CPU stage names and per-size derived floats.
         # The float caches memoize the *same* functions the legacy path
