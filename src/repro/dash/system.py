@@ -23,6 +23,12 @@ from repro.resilience.session import (
 from repro.netsim.ethernet import EthernetNetwork
 from repro.netsim.internet import InternetNetwork
 from repro.netsim.network import Network
+from repro.netsim.topology import (
+    Mesh,
+    build_grid,
+    build_star_of_routers,
+    build_two_tier,
+)
 from repro.sched.cpu import CpuCostModel
 from repro.security.keys import KeyRegistry
 from repro.sim.context import SimContext
@@ -74,6 +80,45 @@ class DashSystem:
         network = InternetNetwork(self.context, name=name, **kwargs)
         self.networks[name] = network
         return network
+
+    #: Mesh builders :meth:`add_mesh` knows by name.
+    _MESH_BUILDERS = {
+        "grid": build_grid,
+        "star": build_star_of_routers,
+        "two_tier": build_two_tier,
+    }
+
+    def add_mesh(
+        self,
+        kind: str = "grid",
+        name: str = "mesh0",
+        st_config: Optional[StConfig] = None,
+        network_kwargs: Optional[Dict] = None,
+        **builder_kwargs,
+    ) -> Tuple[InternetNetwork, Mesh]:
+        """An internet router fabric with one DASH node per host slot.
+
+        ``kind`` picks a :mod:`repro.netsim.topology` builder (``grid``,
+        ``star``, ``two_tier``); ``builder_kwargs`` go to it (``rows``/
+        ``cols``, ``arms``, ``spines``/``leaves``, ``hosts_per_*``,
+        ``spec``...).  Every host slot becomes a full :class:`DashNode`
+        attached only to the mesh network.
+        """
+        try:
+            builder = self._MESH_BUILDERS[kind]
+        except KeyError:
+            raise NetworkError(
+                f"unknown mesh kind {kind!r}; one of "
+                f"{sorted(self._MESH_BUILDERS)}"
+            ) from None
+        network = self.add_internet(name, **(network_kwargs or {}))
+
+        def attach_node(net: Network, host_name: str) -> str:
+            self.add_node(host_name, network_names=[name], st_config=st_config)
+            return host_name
+
+        mesh = builder(network, attach_host=attach_node, **builder_kwargs)
+        return network, mesh
 
     def add_node(
         self,

@@ -7,7 +7,17 @@ from repro.netsim.ethernet import EthernetNetwork
 from repro.netsim.internet import InternetNetwork
 from repro.netsim.network import Network, NetworkProperties, NetworkRms
 from repro.netsim.packet import FRAME_OVERHEAD_BYTES, Frame
-from repro.netsim.topology import Host, Link, LinkStats
+from repro.netsim.routing import ForwardingEngine, ForwardingTable, RoutePlan
+from repro.netsim.topology import (
+    Host,
+    Link,
+    LinkStats,
+    Mesh,
+    MeshSpec,
+    build_grid,
+    build_star_of_routers,
+    build_two_tier,
+)
 
 __all__ = [
     "AdmissionController",
@@ -15,14 +25,22 @@ __all__ = [
     "ChaosSchedule",
     "EthernetNetwork",
     "FRAME_OVERHEAD_BYTES",
+    "ForwardingEngine",
+    "ForwardingTable",
     "Frame",
     "Host",
     "ImpairmentModel",
     "InternetNetwork",
     "Link",
     "LinkStats",
+    "Mesh",
+    "MeshSpec",
     "Network",
     "NetworkProperties",
     "NetworkRms",
     "Reservation",
+    "RoutePlan",
+    "build_grid",
+    "build_star_of_routers",
+    "build_two_tier",
 ]

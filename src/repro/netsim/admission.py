@@ -18,7 +18,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.params import DelayBoundType, RmsParams
 from repro.errors import AdmissionError, ParameterError
 
-__all__ = ["Reservation", "AdmissionController"]
+__all__ = ["Reservation", "AdmissionController", "NULL_POOLS"]
 
 
 @dataclass(frozen=True)
@@ -172,3 +172,13 @@ class AdmissionController:
             f"{self.total_bandwidth:.0f}B/s buf={self.reserved_buffer}/"
             f"{self.total_buffer_bytes}B streams={len(self._reservations)}>"
         )
+
+
+#: The shared pool list for hopless routes (src == dst): such a route
+#: consumes no link resources, so networks used to fabricate a throwaway
+#: ``AdmissionController(1.0, 1)`` on *every* empty-route call just to
+#: satisfy the "at least one pool" contract.  One module-level instance
+#: replaces them all: best-effort reservations on it are empty and keyed
+#: by globally-unique RMS ids, and guaranteed-service requests reject
+#: against its 1 B/s / 1 B totals exactly as the throwaways did.
+NULL_POOLS = [AdmissionController(total_bandwidth=1.0, total_buffer_bytes=1)]

@@ -21,10 +21,11 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.message import Message
 from repro.errors import NetworkError, RoutingError
-from repro.netsim.admission import AdmissionController
+from repro.netsim.admission import NULL_POOLS, AdmissionController
 from repro.netsim.errors_model import ImpairmentModel
 from repro.netsim.network import Network, NetworkProperties
 from repro.netsim.packet import FRAME_OVERHEAD_BYTES, Frame
+from repro.netsim.routing import ForwardingEngine, RoutePlan
 from repro.netsim.topology import Link
 from repro.sim.context import SimContext
 
@@ -53,6 +54,7 @@ class InternetNetwork(Network):
         quench_threshold: float = 0.75,
         queue_policy: str = "edf",
         link_batching: bool = True,
+        route_engine: bool = True,
     ) -> None:
         properties = NetworkProperties(
             trusted=trusted,
@@ -68,6 +70,16 @@ class InternetNetwork(Network):
         self._pools: Dict[Tuple[str, str], AdmissionController] = {}
         self._adjacency: Dict[str, List[str]] = {}
         self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+        #: The scale-out resolver: per-source forwarding tables, compiled
+        #: route plans, scoped invalidation.  ``route_engine=False``
+        #: falls back to the per-pair Dijkstra with whole-cache clears
+        #: (kept as the E22 ablation baseline).
+        self.route_engine = route_engine
+        self._engine = ForwardingEngine(self)
+        self._link_edges: Dict[Link, Tuple[str, str]] = {}
+        #: Shortest-path searches run (one per table build with the
+        #: engine, one per cache-missing pair without it).
+        self.route_resolutions = 0
         self.queue_policy = queue_policy
         self.link_batching = link_batching
         self.source_quench = source_quench
@@ -120,23 +132,34 @@ class InternetNetwork(Network):
             self._pools[(src, dst)] = AdmissionController(
                 total_bandwidth=bandwidth, total_buffer_bytes=buffer_bytes
             )
-            link.on_down.listen(self._make_down_handler(src, dst))
-            link.on_up.listen(lambda _link: self._route_cache.clear())
+            # One shared handler pair for every link; the edge a firing
+            # link belongs to is a dict probe, not a captured closure.
+            self._link_edges[link] = (src, dst)
+            link.on_down.listen(self._on_link_down)
+            link.on_up.listen(self._on_link_up)
             if self.source_quench:
                 link.on_overrun = self._make_overrun_handler(src, dst)
             links.append(link)
         self._adjacency.setdefault(node_a, []).append(node_b)
         self._adjacency.setdefault(node_b, []).append(node_a)
         self._route_cache.clear()
+        self._engine.invalidate_all()
         self.medium_bit_error_rate = max(
             self.medium_bit_error_rate, bit_error_rate
         )
         return links[0], links[1]
 
     def can_reach(self, src: str, dst: str) -> bool:
-        """True when a route of live links currently exists."""
+        """True when a route of live links currently exists.
+
+        With the forwarding engine this is a dict probe into the
+        source's (lazily built, scoped-invalidated) table -- no path
+        search and no exception control flow per call.
+        """
         if src not in self.hosts or dst not in self.hosts:
             return False
+        if self.route_engine:
+            return src == dst or dst in self._engine.table(src).dist
         try:
             self.route_between(src, dst)
         except RoutingError:
@@ -150,12 +173,20 @@ class InternetNetwork(Network):
         except KeyError:
             raise NetworkError(f"no link {src}->{dst} in {self.name}") from None
 
-    def _make_down_handler(self, src: str, dst: str) -> Callable[[Link], None]:
-        def on_down(_link: Link) -> None:
+    def _on_link_down(self, link: Link) -> None:
+        src, dst = self._link_edges[link]
+        if self.route_engine:
+            self._engine.link_down(src, dst)
+        else:
             self._route_cache.clear()
-            self._fail_rms_on_route((src, dst), f"link {src}->{dst} down")
+        self._fail_rms_on_route((src, dst), f"link {src}->{dst} down")
 
-        return on_down
+    def _on_link_up(self, link: Link) -> None:
+        src, dst = self._link_edges[link]
+        if self.route_engine:
+            self._engine.link_up(src, dst)
+        else:
+            self._route_cache.clear()
 
     def _make_overrun_handler(self, src: str, dst: str) -> Callable[[Frame], None]:
         def on_overrun(frame: Frame) -> None:
@@ -193,7 +224,15 @@ class InternetNetwork(Network):
         )
 
     def route_between(self, src: str, dst: str) -> List[str]:
-        """Shortest path (by latency) between two nodes, cached."""
+        """Shortest path (by latency) between two nodes, cached.
+
+        The forwarding engine serves this from the source's table (one
+        Dijkstra amortized over all destinations); the legacy resolver
+        runs one early-exit Dijkstra per pair.  Both return the exact
+        same node sequence on the same topology.
+        """
+        if self.route_engine:
+            return self._engine.plan(src, dst).route
         key = (src, dst)
         if key in self._route_cache:
             return self._route_cache[key]
@@ -201,6 +240,7 @@ class InternetNetwork(Network):
             raise RoutingError(f"unknown endpoint in {src}->{dst}")
         if src == dst:
             return [src]
+        self.route_resolutions += 1
         distances: Dict[str, float] = {src: 0.0}
         previous: Dict[str, str] = {}
         heap: List[Tuple[float, str]] = [(0.0, src)]
@@ -237,9 +277,27 @@ class InternetNetwork(Network):
     def _transmit_frame(
         self, frame: Frame, on_drop: Optional[Callable[[Frame, str], None]] = None
     ) -> None:
+        if self.route_engine and not frame.route:
+            # Control traffic and quenches: resolve through the compiled
+            # plan (data frames of engine-routed RMSs enter via
+            # :meth:`_transmit_plan` directly).
+            plan = self._engine.plan(frame.src_host, frame.dst_host)
+            frame.route = plan.route
+            self._engine.transmit(frame, plan, on_drop)
+            return
         route = frame.route or self.route_between(frame.src_host, frame.dst_host)
         frame.route = route
         self._forward(frame, 0, on_drop)
+
+    def _transmit_plan(
+        self,
+        frame: Frame,
+        plan: RoutePlan,
+        on_drop: Optional[Callable[[Frame, str], None]],
+    ) -> None:
+        """Data-path transmit along a compiled plan (zero per-frame
+        allocation: cached deliver callbacks, shared route list)."""
+        self._engine.transmit(frame, plan, on_drop)
 
     def _forward(
         self,
@@ -267,6 +325,11 @@ class InternetNetwork(Network):
     # -- shared-network interface -------------------------------------------------
 
     def _path_profile(self, src: str, dst: str) -> Tuple[float, float, List[str]]:
+        if self.route_engine:
+            # Fixed/per-byte costs are memoized on the compiled plan
+            # (link bandwidth and propagation never change post-build).
+            plan = self._engine.plan(src, dst)
+            return plan.fixed_delay, plan.per_byte_delay, plan.route
         route = self.route_between(src, dst)
         fixed = 0.0
         per_byte = 0.0
@@ -278,13 +341,18 @@ class InternetNetwork(Network):
             per_byte += 1.0 / link.bandwidth
         return fixed, per_byte, route
 
+    def _route_plan(self, src: str, dst: str) -> Optional[RoutePlan]:
+        if self.route_engine:
+            return self._engine.plan(src, dst)
+        return None
+
     def _admission_pools(self, route: List[str]) -> List[AdmissionController]:
         pools = []
         for i in range(len(route) - 1):
             pool = self._pools.get((route[i], route[i + 1]))
             if pool is not None:
                 pools.append(pool)
-        return pools or [AdmissionController(1.0, 1)]
+        return pools or NULL_POOLS
 
     def total_gateway_drops(self) -> int:
         """Buffer-overrun drops across all links (congestion metric)."""

@@ -82,22 +82,46 @@ class NetworkRms(Rms):
     ) -> None:
         super().__init__(context, params, sender, receiver, name=name)
         self.network = network
-        self.route: List[str] = []  # filled by routed networks
+        #: Compiled forwarding plan (routed networks with the engine):
+        #: pre-resolved links and cached per-hop deliver callbacks.
+        #: Data keeps following it even after topology changes -- the
+        #: admitted route is the contract -- and a dead on-route link
+        #: fails the RMS through the usual notification path.
+        self.plan = None
+        self.route = []  # filled by routed networks
         self.established = False
+
+    @property
+    def route(self) -> List[str]:
+        """Node names of the admitted path (routed networks)."""
+        return self._route
+
+    @route.setter
+    def route(self, value: List[str]) -> None:
+        # Re-pinning the route (downward-mux path diversity, tests) must
+        # drop any compiled plan: the plan encodes the previous path.
+        # ``create_rms`` assigns the plan *after* the route, so the
+        # normal setup sequence is unaffected.
+        self._route = value
+        self.plan = None
 
     def _transmit(self, message: Message) -> None:
         # Data follows the route the stream was admitted on -- its
         # reservations live on those links, not on whatever path is
         # currently shortest.
+        plan = self.plan
         frame = self.network._acquire_data_frame(
             message=message,
             src_host=self.sender.host,
             dst_host=self.receiver.host,
             rms_id=self.rms_id,
             deadline=message.deadline if message.deadline is not None else float("inf"),
-            route=list(self.route),
+            route=plan.route if plan is not None else list(self.route),
         )
-        self.network._transmit_frame(frame, on_drop=self._frame_dropped)
+        if plan is not None:
+            self.network._transmit_plan(frame, plan, self._frame_dropped)
+        else:
+            self.network._transmit_frame(frame, on_drop=self._frame_dropped)
 
     def _frame_dropped(self, frame: Frame, reason: str) -> None:
         self._drop(frame.message, reason)
@@ -130,6 +154,7 @@ class NetworkRms(Rms):
                 "rms", "send", rms=self.name, id=message.message_id, size=size
             )
         network = self.network
+        plan = self.plan
         pooling = network._pool_frames and not context.obs.enabled
         if pooling:
             frame = network._frame_pool.acquire()
@@ -140,22 +165,29 @@ class NetworkRms(Rms):
                 frame.rms_id = self.rms_id
                 frame.kind = "data"
                 frame.deadline = deadline
-                frame.route = list(self.route)
+                frame.route = plan.route if plan is not None else list(self.route)
                 frame.hops_taken = 0
                 frame.corrupted = False
                 frame.frame_id = next_frame_id()
                 frame.enqueued_at = None
                 frame.pooled = True
                 frame._size = None
-                network._transmit_frame_fast(frame, self._frame_dropped)
+                if plan is not None:
+                    network._transmit_plan(frame, plan, self._frame_dropped)
+                else:
+                    network._transmit_frame_fast(frame, self._frame_dropped)
                 return
         frame = Frame(
             message=message, src_host=self.sender.host,
             dst_host=self.receiver.host, rms_id=self.rms_id, kind="data",
-            deadline=deadline, route=list(self.route),
+            deadline=deadline,
+            route=plan.route if plan is not None else list(self.route),
         )
         frame.pooled = pooling
-        network._transmit_frame_fast(frame, self._frame_dropped)
+        if plan is not None:
+            network._transmit_plan(frame, plan, self._frame_dropped)
+        else:
+            network._transmit_frame_fast(frame, self._frame_dropped)
 
     def _frame_arrived(self, frame: Frame) -> None:
         """Called by the network when a data frame reaches the receiver."""
@@ -293,6 +325,7 @@ class Network:
             frame.pooled = False
             frame.message = None  # type: ignore[assignment]
             frame.route = []
+            frame.on_drop = None
             self._frame_pool.release(frame)
 
     # -- subclass interface -------------------------------------------------
@@ -316,6 +349,15 @@ class Network:
     def _path_profile(self, src: str, dst: str) -> Tuple[float, float, List[str]]:
         """(fixed seconds, seconds/byte, route node names) for a pair."""
         raise NotImplementedError
+
+    def _route_plan(self, src: str, dst: str):
+        """Compiled forwarding plan for a pair, or ``None``.
+
+        Networks without hop-by-hop forwarding (or with the engine
+        disabled) return ``None`` and streams use the generic
+        ``_transmit_frame`` path.
+        """
+        return None
 
     def _admission_pools(self, route: List[str]) -> List[AdmissionController]:
         raise NotImplementedError
@@ -386,6 +428,7 @@ class Network:
             name=f"{self.name}.rms{next(_setup_ids)}",
         )
         rms.route = route
+        rms.plan = self._route_plan(sender.host, receiver.host)
         admitted: List[AdmissionController] = []
         try:
             for pool in self._admission_pools(route):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.message import Message
 
@@ -38,7 +38,11 @@ class Frame:
     rms_id: int  # network RMS the frame belongs to (0 = maintenance)
     kind: str = "data"  # "data" | "setup" | "teardown" | "quench"
     deadline: float = 0.0
-    route: List[str] = field(default_factory=list)  # remaining hops
+    #: Node names of the path the frame follows.  Routed networks with
+    #: the forwarding engine bind this to the compiled plan's *shared*
+    #: route list (never mutated; rebinding only), so per-frame route
+    #: copies disappear from the datapath.
+    route: List[str] = field(default_factory=list)
     hops_taken: int = 0
     corrupted: bool = False
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
@@ -47,6 +51,11 @@ class Frame:
     #: (set by the acquiring network, cleared on recycle).  Frames built
     #: directly -- control traffic, tests -- never enter a pool.
     pooled: bool = False
+    #: Per-frame drop callback, set at transmit time by the forwarding
+    #: engine.  Compiled plans cache one deliver callback per *hop*, so
+    #: the only per-frame state (which stream to notify on a drop) rides
+    #: on the frame instead of being closed over per hop per frame.
+    on_drop: Optional[Callable[["Frame", str], None]] = None
 
     # Cached wire size (unannotated: a plain class attribute, not a
     # dataclass field).  Valid because nothing resizes a message once a

@@ -1,0 +1,359 @@
+"""Scale-out routing: forwarding tables, compiled plans, scoped repair.
+
+The internetwork's original resolver ran one Dijkstra per (src, dst)
+pair on demand and cleared the *entire* route cache whenever any link
+changed state.  At a handful of nodes that is invisible; at hundreds of
+hosts over a router mesh with link churn it is an O(N^2) recompute storm
+on the hot path.  This module amortizes and scopes that work:
+
+* **Forwarding tables** -- one Dijkstra per *source* covers every
+  destination at once (`ForwardingTable`: final distances plus the
+  shortest-path-tree predecessor map).  Tables are built lazily and
+  stamped with the engine epoch.  Because Dijkstra's relaxations are
+  deterministic and a settled node's predecessor never changes after it
+  is popped, the route reconstructed from a full-run table is *exactly*
+  the route the per-pair early-exit search would have produced -- not
+  merely cost-equal -- so fixed-seed traces on static topologies are
+  byte-identical with the legacy resolver.
+
+* **Compiled route plans** -- per (src, dst) a `RoutePlan` freezes the
+  resolved `Link` sequence, the admission pools along it, the path
+  profile (fixed and per-byte delay), and one pre-built deliver
+  callback per hop.  Forwarding a frame does zero dict lookups and
+  zero closure allocation: each hop is a tuple index plus an `is_up`
+  test.  The per-frame drop callback rides on the frame itself
+  (``Frame.on_drop``) instead of being captured per hop per frame.
+
+* **Scoped invalidation** -- reverse indexes map each directed edge to
+  the tables whose shortest-path tree uses it and the plans that
+  traverse it.  A link going *down* only removes paths, so every
+  cached route that avoids it is still shortest: only the indexed
+  dependents are dropped.  A link coming *up* can improve any route,
+  but only for sources where ``dist(src, u) + w(u, v) < dist(src, v)``
+  -- an O(sources) probe against the cached distance maps identifies
+  exactly those, and disjoint routes are untouched.
+
+* **Fixed-topology fast path** -- none of the index bookkeeping runs
+  until the first link state change.  A static topology (the common
+  bench case) pays nothing for invalidation support; the first churn
+  event falls back to one full invalidation and switches tracking on.
+
+Known divergence (documented in DESIGN.md 8.7): after a link comes
+back up, a surviving table may keep a cached route that *ties* a path
+through the restored link; a from-scratch Dijkstra could tie-break the
+other way.  Costs are always equal, and static topologies are exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Callable, Dict, List, Set, Tuple
+
+from repro.errors import RoutingError
+from repro.netsim.admission import NULL_POOLS
+from repro.netsim.packet import FRAME_OVERHEAD_BYTES, Frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.internet import InternetNetwork
+
+__all__ = ["ForwardingTable", "RoutePlan", "ForwardingEngine"]
+
+_EdgeKey = Tuple[str, str]
+
+
+class ForwardingTable:
+    """One source's shortest paths to every reachable node."""
+
+    __slots__ = ("src", "dist", "prev", "epoch")
+
+    def __init__(
+        self,
+        src: str,
+        dist: Dict[str, float],
+        prev: Dict[str, str],
+        epoch: int,
+    ) -> None:
+        self.src = src
+        #: Final shortest distance per reachable node (reachability is a
+        #: dict probe: ``dst in table.dist``).
+        self.dist = dist
+        #: Shortest-path-tree predecessor per reachable node (except the
+        #: source itself); routes are reconstructed by walking it.
+        self.prev = prev
+        self.epoch = epoch
+
+    def __repr__(self) -> str:
+        return (
+            f"<ForwardingTable src={self.src} reach={len(self.dist)} "
+            f"epoch={self.epoch}>"
+        )
+
+
+class RoutePlan:
+    """A compiled (src, dst) route: links, pools, deliver callbacks."""
+
+    __slots__ = (
+        "src", "dst", "route", "links", "pools", "delivers",
+        "fixed_delay", "per_byte_delay", "epoch", "dead",
+    )
+
+    def __init__(self, src: str, dst: str, route: List[str], epoch: int) -> None:
+        self.src = src
+        self.dst = dst
+        #: Node names, shared (never mutated): frames and RMSs reference
+        #: this list directly instead of copying it per frame.
+        self.route = route
+        self.links: Tuple = ()
+        self.pools: List = []
+        self.delivers: Tuple = ()
+        self.fixed_delay = 0.0
+        self.per_byte_delay = 0.0
+        self.epoch = epoch
+        #: Set by scoped invalidation.  A dead plan is never handed out
+        #: for new resolutions; frames of already-admitted RMSs keep
+        #: forwarding on it (data follows the admitted route, and a
+        #: downed on-route link fails the RMS through the usual path).
+        self.dead = False
+
+    def __repr__(self) -> str:
+        state = "dead" if self.dead else "live"
+        return f"<RoutePlan {self.src}->{self.dst} hops={len(self.links)} {state}>"
+
+
+class ForwardingEngine:
+    """Next-hop tables, compiled plans, and scoped invalidation for one
+    :class:`~repro.netsim.internet.InternetNetwork`."""
+
+    def __init__(self, network: "InternetNetwork") -> None:
+        self.network = network
+        self._tables: Dict[str, ForwardingTable] = {}
+        self._plans: Dict[Tuple[str, str], RoutePlan] = {}
+        #: Reverse indexes, maintained only once churn has been seen
+        #: (the fixed-topology fast path skips this bookkeeping).
+        self._edge_tables: Dict[_EdgeKey, Set[str]] = {}
+        self._edge_plans: Dict[_EdgeKey, List[RoutePlan]] = {}
+        self._src_plans: Dict[str, List[RoutePlan]] = {}
+        self._track = False
+        self.epoch = 0
+        # Introspection counters (bench telemetry).
+        self.table_builds = 0
+        self.plan_compiles = 0
+        self.scoped_table_drops = 0
+        self.scoped_plan_drops = 0
+        self.full_invalidations = 0
+
+    # -- resolution ---------------------------------------------------------
+
+    def table(self, src: str) -> ForwardingTable:
+        """The forwarding table for ``src``, built lazily."""
+        table = self._tables.get(src)
+        if table is not None:
+            return table
+        return self._build_table(src)
+
+    def _build_table(self, src: str) -> ForwardingTable:
+        # One full-run Dijkstra: identical float operations, relaxation
+        # order, and tie-breaking as the legacy per-pair search, minus
+        # the early exit -- so reconstructed routes match it exactly.
+        network = self.network
+        weight_of = network._link_weight
+        links = network._links
+        adjacency = network._adjacency
+        distances: Dict[str, float] = {src: 0.0}
+        previous: Dict[str, str] = {}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        visited: Set[str] = set()
+        inf = float("inf")
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            for neighbor in adjacency.get(node, []):
+                if (node, neighbor) not in links:
+                    continue
+                weight = weight_of(node, neighbor)
+                if weight == inf:
+                    continue
+                candidate = dist + weight
+                if candidate < distances.get(neighbor, inf):
+                    distances[neighbor] = candidate
+                    previous[neighbor] = node
+                    heapq.heappush(heap, (candidate, neighbor))
+        table = ForwardingTable(src, distances, previous, self.epoch)
+        self._tables[src] = table
+        self.table_builds += 1
+        network.route_resolutions += 1
+        if self._track:
+            edge_tables = self._edge_tables
+            for node, prev_node in previous.items():
+                edge_tables.setdefault((prev_node, node), set()).add(src)
+        return table
+
+    def plan(self, src: str, dst: str) -> RoutePlan:
+        """The compiled plan for (src, dst); raises RoutingError."""
+        key = (src, dst)
+        plan = self._plans.get(key)
+        if plan is not None:
+            return plan
+        network = self.network
+        if not network._node_exists(src) or not network._node_exists(dst):
+            raise RoutingError(f"unknown endpoint in {src}->{dst}")
+        if src == dst:
+            plan = RoutePlan(src, dst, [src], self.epoch)
+            plan.pools = NULL_POOLS
+            plan.delivers = ()
+            self._plans[key] = plan
+            self.plan_compiles += 1
+            return plan
+        table = self.table(src)
+        if dst not in table.prev:
+            raise RoutingError(f"no route from {src} to {dst} in {network.name}")
+        route = [dst]
+        prev = table.prev
+        while route[-1] != src:
+            route.append(prev[route[-1]])
+        route.reverse()
+        plan = RoutePlan(src, dst, route, self.epoch)
+        links = []
+        pools = []
+        fixed = 0.0
+        per_byte = 0.0
+        for i in range(len(route) - 1):
+            hop = (route[i], route[i + 1])
+            link = network._links[hop]
+            links.append(link)
+            pool = network._pools.get(hop)
+            if pool is not None:
+                pools.append(pool)
+            fixed += link.propagation_delay + link.transmission_time(
+                FRAME_OVERHEAD_BYTES
+            )
+            per_byte += 1.0 / link.bandwidth
+        plan.links = tuple(links)
+        plan.pools = pools or NULL_POOLS
+        plan.fixed_delay = fixed
+        plan.per_byte_delay = per_byte
+        plan.delivers = tuple(
+            self._make_deliver(plan, i + 1) for i in range(len(links))
+        )
+        self._plans[key] = plan
+        self.plan_compiles += 1
+        if self._track:
+            edge_plans = self._edge_plans
+            for i in range(len(route) - 1):
+                edge_plans.setdefault((route[i], route[i + 1]), []).append(plan)
+            self._src_plans.setdefault(src, []).append(plan)
+        return plan
+
+    # -- forwarding ---------------------------------------------------------
+
+    def _make_deliver(self, plan: RoutePlan, next_hop: int) -> Callable:
+        """The cached deliver callback for arrival at route[next_hop]."""
+        network = self.network
+        if next_hop == len(plan.route) - 1:
+            # Final hop: deliver straight into the network's demux; the
+            # bound method itself is the callback (no closure at all).
+            return network._frame_arrived
+
+        def deliver(frame: Frame) -> None:
+            link = plan.links[next_hop]
+            if not link.is_up:
+                on_drop = frame.on_drop
+                if on_drop is not None:
+                    on_drop(
+                        frame,
+                        f"no usable link {plan.route[next_hop]}->"
+                        f"{plan.route[next_hop + 1]}",
+                    )
+                return
+            frame.hops_taken = next_hop + 1
+            link.transmit(frame, deliver=plan.delivers[next_hop],
+                          on_drop=frame.on_drop)
+
+        return deliver
+
+    def transmit(self, frame: Frame, plan: RoutePlan, on_drop) -> None:
+        """Send ``frame`` along ``plan``: the zero-allocation datapath."""
+        frame.on_drop = on_drop
+        links = plan.links
+        if not links:
+            self.network._frame_arrived(frame)
+            return
+        link = links[0]
+        if not link.is_up:
+            if on_drop is not None:
+                on_drop(frame, f"no usable link {plan.route[0]}->{plan.route[1]}")
+            return
+        frame.hops_taken = 1
+        link.transmit(frame, deliver=plan.delivers[0], on_drop=on_drop)
+
+    # -- invalidation -------------------------------------------------------
+
+    def invalidate_all(self) -> None:
+        """Drop every cached table and plan (topology grew, or the first
+        churn event before tracking was on)."""
+        for plan in self._plans.values():
+            plan.dead = True
+        self._plans.clear()
+        self._tables.clear()
+        self._edge_tables.clear()
+        self._edge_plans.clear()
+        self._src_plans.clear()
+        self.epoch += 1
+        self.full_invalidations += 1
+
+    def _start_tracking(self) -> None:
+        # First link state change: everything cached was built without
+        # reverse indexes, so pay one full invalidation and maintain the
+        # indexes from here on.
+        self._track = True
+        self.invalidate_all()
+
+    def _kill_plan(self, plan: RoutePlan) -> None:
+        plan.dead = True
+        key = (plan.src, plan.dst)
+        if self._plans.get(key) is plan:
+            del self._plans[key]
+        self.scoped_plan_drops += 1
+
+    def link_down(self, u: str, v: str) -> None:
+        """A link died: routes that avoid it are still shortest (the
+        path set only shrank), so drop exactly the indexed dependents."""
+        if not self._track:
+            self._start_tracking()
+            return
+        for src in self._edge_tables.pop((u, v), ()):
+            if self._tables.pop(src, None) is not None:
+                self.scoped_table_drops += 1
+        for plan in self._edge_plans.pop((u, v), ()):
+            if not plan.dead:
+                self._kill_plan(plan)
+
+    def link_up(self, u: str, v: str) -> None:
+        """A link recovered: it can only improve a source's routes when
+        ``dist(src, u) + w < dist(src, v)`` -- probe the cached distance
+        maps and drop exactly those sources (and their plans)."""
+        if not self._track:
+            self._start_tracking()
+            return
+        weight = self.network._link_weight(u, v)
+        inf = float("inf")
+        affected = [
+            src
+            for src, table in self._tables.items()
+            if table.dist.get(u, inf) + weight < table.dist.get(v, inf)
+        ]
+        for src in affected:
+            del self._tables[src]
+            self.scoped_table_drops += 1
+            for plan in self._src_plans.pop(src, ()):
+                if not plan.dead:
+                    self._kill_plan(plan)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ForwardingEngine tables={len(self._tables)} "
+            f"plans={len(self._plans)} epoch={self.epoch} "
+            f"tracking={self._track}>"
+        )

@@ -21,7 +21,16 @@ from repro.sim.context import SimContext
 from repro.sim.events import Signal
 from repro.sim.ports import Port
 
-__all__ = ["Link", "Host", "LinkStats"]
+__all__ = [
+    "Link",
+    "Host",
+    "LinkStats",
+    "Mesh",
+    "MeshSpec",
+    "build_grid",
+    "build_star_of_routers",
+    "build_two_tier",
+]
 
 #: Upper bound on frames committed per transmit burst; bounds both the
 #: worst-case burst-break cost and how far ahead of the clock delivery
@@ -400,3 +409,201 @@ class Host:
 
     def __repr__(self) -> str:
         return f"<Host {self.name} nets={sorted(self.networks)}>"
+
+
+# -- mesh builders (scale-out benchmarking, section 4.3) ---------------------
+#
+# The paper's internetwork is "point-to-point links between packet
+# switches"; these helpers stamp out the standard switch fabrics used by
+# the scale-out routing benchmarks: a grid (long multi-hop paths), a
+# star of routers (a shared core every path crosses), and a two-tier
+# spine/leaf fabric (many equal-cost core crossings).  They only *build*
+# topology -- hosts come from an ``attach_host`` callback so the same
+# builders serve plain netsim benches and full DASH systems.
+
+
+class MeshSpec:
+    """Link parameters shared by the mesh builders.
+
+    Trunk links connect routers; access links connect hosts to their
+    edge router.  Access links are faster and shorter so router-to-
+    router forwarding, not the last hop, dominates path cost.
+    """
+
+    __slots__ = (
+        "trunk_bandwidth", "trunk_delay", "access_bandwidth",
+        "access_delay", "buffer_bytes",
+    )
+
+    def __init__(
+        self,
+        trunk_bandwidth: float = 1.25e6,
+        trunk_delay: float = 1e-3,
+        access_bandwidth: float = 2.5e6,
+        access_delay: float = 2e-4,
+        buffer_bytes: int = 64 * 1024,
+    ) -> None:
+        self.trunk_bandwidth = trunk_bandwidth
+        self.trunk_delay = trunk_delay
+        self.access_bandwidth = access_bandwidth
+        self.access_delay = access_delay
+        self.buffer_bytes = buffer_bytes
+
+
+class Mesh:
+    """What a mesh builder made: node names by role."""
+
+    __slots__ = ("routers", "hosts", "host_router")
+
+    def __init__(self, routers, hosts, host_router) -> None:
+        self.routers: list = routers
+        self.hosts: list = hosts
+        #: host name -> its edge router's name.
+        self.host_router: Dict[str, str] = host_router
+
+    def __repr__(self) -> str:
+        return f"<Mesh routers={len(self.routers)} hosts={len(self.hosts)}>"
+
+
+def _default_attach_host(network, name: str) -> str:
+    network.attach(Host(network.context, name))
+    return name
+
+
+def _attach_hosts(network, mesh, router, count, prefix, spec, attach_host):
+    attach = attach_host or _default_attach_host
+    for _ in range(count):
+        name = attach(network, f"{prefix}{len(mesh.hosts)}")
+        network.add_link(
+            name, router,
+            bandwidth=spec.access_bandwidth,
+            propagation_delay=spec.access_delay,
+            buffer_bytes=spec.buffer_bytes,
+        )
+        mesh.hosts.append(name)
+        mesh.host_router[name] = router
+
+
+def build_grid(
+    network,
+    rows: int,
+    cols: int,
+    hosts_per_router: int = 1,
+    spec: Optional[MeshSpec] = None,
+    attach_host: Optional[Callable[[object, str], str]] = None,
+    host_prefix: str = "h",
+) -> Mesh:
+    """A rows x cols router grid with 4-neighbor trunks.
+
+    Worst-case paths are ``rows + cols`` hops, so this is the builder
+    that stresses multi-hop forwarding cost.
+    """
+    if rows < 1 or cols < 1:
+        raise NetworkError("grid needs at least one row and column")
+    spec = spec or MeshSpec()
+    mesh = Mesh([], [], {})
+    for row in range(rows):
+        for col in range(cols):
+            name = f"g{row}x{col}"
+            network.add_router(name)
+            mesh.routers.append(name)
+    for row in range(rows):
+        for col in range(cols):
+            name = f"g{row}x{col}"
+            if col + 1 < cols:
+                network.add_link(
+                    name, f"g{row}x{col + 1}",
+                    bandwidth=spec.trunk_bandwidth,
+                    propagation_delay=spec.trunk_delay,
+                    buffer_bytes=spec.buffer_bytes,
+                )
+            if row + 1 < rows:
+                network.add_link(
+                    name, f"g{row + 1}x{col}",
+                    bandwidth=spec.trunk_bandwidth,
+                    propagation_delay=spec.trunk_delay,
+                    buffer_bytes=spec.buffer_bytes,
+                )
+    for router in mesh.routers:
+        _attach_hosts(
+            network, mesh, router, hosts_per_router, host_prefix, spec,
+            attach_host,
+        )
+    return mesh
+
+
+def build_star_of_routers(
+    network,
+    arms: int,
+    hosts_per_arm: int = 1,
+    spec: Optional[MeshSpec] = None,
+    attach_host: Optional[Callable[[object, str], str]] = None,
+    host_prefix: str = "h",
+    core_name: str = "core",
+) -> Mesh:
+    """Arm routers around one core; every cross-arm path shares the core.
+
+    The degenerate fabric: invalidating a core-adjacent link touches
+    most routes, so this is the builder that stresses invalidation.
+    """
+    if arms < 1:
+        raise NetworkError("star needs at least one arm")
+    spec = spec or MeshSpec()
+    mesh = Mesh([], [], {})
+    network.add_router(core_name)
+    mesh.routers.append(core_name)
+    for arm in range(arms):
+        name = f"arm{arm}"
+        network.add_router(name)
+        mesh.routers.append(name)
+        network.add_link(
+            name, core_name,
+            bandwidth=spec.trunk_bandwidth,
+            propagation_delay=spec.trunk_delay,
+            buffer_bytes=spec.buffer_bytes,
+        )
+        _attach_hosts(
+            network, mesh, name, hosts_per_arm, host_prefix, spec,
+            attach_host,
+        )
+    return mesh
+
+
+def build_two_tier(
+    network,
+    spines: int,
+    leaves: int,
+    hosts_per_leaf: int = 1,
+    spec: Optional[MeshSpec] = None,
+    attach_host: Optional[Callable[[object, str], str]] = None,
+    host_prefix: str = "h",
+) -> Mesh:
+    """A fat-tree-ish spine/leaf fabric: full spine-leaf bipartite trunks.
+
+    Many equal-cost two-trunk paths cross the core, so this is the
+    builder that stresses tie-breaking stability and table reuse.
+    """
+    if spines < 1 or leaves < 1:
+        raise NetworkError("two-tier fabric needs spines and leaves")
+    spec = spec or MeshSpec()
+    mesh = Mesh([], [], {})
+    for spine in range(spines):
+        name = f"spine{spine}"
+        network.add_router(name)
+        mesh.routers.append(name)
+    for leaf in range(leaves):
+        name = f"leaf{leaf}"
+        network.add_router(name)
+        mesh.routers.append(name)
+        for spine in range(spines):
+            network.add_link(
+                name, f"spine{spine}",
+                bandwidth=spec.trunk_bandwidth,
+                propagation_delay=spec.trunk_delay,
+                buffer_bytes=spec.buffer_bytes,
+            )
+        _attach_hosts(
+            network, mesh, name, hosts_per_leaf, host_prefix, spec,
+            attach_host,
+        )
+    return mesh

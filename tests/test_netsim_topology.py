@@ -271,3 +271,99 @@ class TestAdmissionController:
         broken = self.deterministic_params()
         with pytest.raises(ParameterError):
             pool.statistical_demand(broken)
+
+
+class TestMeshBuilders:
+    """The scale-out mesh builders: counts, connectivity, callbacks."""
+
+    @staticmethod
+    def _internet():
+        from repro.netsim.internet import InternetNetwork
+        context = SimContext(seed=3)
+        return context, InternetNetwork(context, trusted=True)
+
+    def test_grid_counts_and_connectivity(self):
+        from repro.netsim.topology import build_grid
+        context, network = self._internet()
+        mesh = build_grid(network, 3, 4, hosts_per_router=2)
+        assert len(mesh.routers) == 12
+        assert len(mesh.hosts) == 24
+        assert set(mesh.host_router) == set(mesh.hosts)
+        # Opposite grid corners are connected host-to-host.
+        assert network.can_reach(mesh.hosts[0], mesh.hosts[-1])
+        route = network.route_between(mesh.hosts[0], mesh.hosts[-1])
+        assert route[0] == mesh.hosts[0] and route[-1] == mesh.hosts[-1]
+        # Interior hops are all routers.
+        assert all(node in set(mesh.routers) for node in route[1:-1])
+
+    def test_star_routes_cross_the_core(self):
+        from repro.netsim.topology import build_star_of_routers
+        context, network = self._internet()
+        mesh = build_star_of_routers(network, arms=4, hosts_per_arm=2)
+        assert len(mesh.routers) == 5  # core + arms
+        assert len(mesh.hosts) == 8
+        cross = network.route_between(mesh.hosts[0], mesh.hosts[-1])
+        assert "core" in cross
+
+    def test_two_tier_routes_cross_one_spine(self):
+        from repro.netsim.topology import build_two_tier
+        context, network = self._internet()
+        mesh = build_two_tier(network, spines=3, leaves=4, hosts_per_leaf=2)
+        assert len(mesh.routers) == 7
+        assert len(mesh.hosts) == 8
+        cross = network.route_between(mesh.hosts[0], mesh.hosts[-1])
+        spines = {name for name in mesh.routers if name.startswith("spine")}
+        assert len([node for node in cross if node in spines]) == 1
+
+    def test_mesh_spec_reaches_links(self):
+        from repro.netsim.topology import MeshSpec, build_grid
+        context, network = self._internet()
+        spec = MeshSpec(trunk_bandwidth=12345.0, access_bandwidth=54321.0)
+        mesh = build_grid(network, 2, 2, spec=spec)
+        assert network.link("g0x0", "g0x1").bandwidth == 12345.0
+        host = mesh.hosts[0]
+        assert network.link(host, mesh.host_router[host]).bandwidth == 54321.0
+
+    def test_attach_host_callback_owns_host_creation(self):
+        from repro.netsim.topology import build_grid
+        context, network = self._internet()
+        created = []
+
+        def attach(net, name):
+            label = f"custom-{name}"
+            net.attach(Host(context, label))
+            created.append(label)
+            return label
+
+        mesh = build_grid(network, 2, 2, attach_host=attach)
+        assert mesh.hosts == created
+        assert all(name.startswith("custom-h") for name in mesh.hosts)
+
+    def test_degenerate_shapes_rejected(self):
+        from repro.netsim.topology import (
+            build_grid, build_star_of_routers, build_two_tier,
+        )
+        context, network = self._internet()
+        with pytest.raises(NetworkError):
+            build_grid(network, 0, 3)
+        with pytest.raises(NetworkError):
+            build_star_of_routers(network, arms=0)
+        with pytest.raises(NetworkError):
+            build_two_tier(network, spines=0, leaves=2)
+
+    def test_dash_system_add_mesh(self):
+        from repro.dash.system import DashSystem
+        system = DashSystem(seed=11)
+        network, mesh = system.add_mesh("grid", rows=2, cols=2,
+                                        hosts_per_router=1)
+        assert set(mesh.hosts) <= set(system.nodes)
+        session = system.connect(mesh.hosts[0], mesh.hosts[-1], port="mesh")
+        system.run(until=system.now + 2.0)
+        rms = session.established.result()
+        got = []
+        rms.port.set_handler(lambda message: got.append(message))
+        rms.send(b"mesh" * 20)
+        system.run(until=system.now + 2.0)
+        assert len(got) == 1
+        with pytest.raises(NetworkError):
+            system.add_mesh("moebius")

@@ -1,0 +1,393 @@
+"""Tests for the scale-out routing engine: forwarding tables must
+reproduce per-pair Dijkstra exactly, compiled plans must forward the
+same bytes at the same times, and invalidation must be scoped -- a flap
+repairs only the routes that crossed the flapped link."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.message import Label
+from repro.core.params import DelayBound, DelayBoundType, RmsParams
+from repro.errors import RoutingError
+from repro.netsim.admission import NULL_POOLS
+from repro.netsim.internet import InternetNetwork
+from repro.netsim.topology import Host
+from repro.sim.context import SimContext
+
+edge_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+        st.floats(min_value=1e-4, max_value=0.1, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=16,
+).map(lambda edges: [(a, b, w) for a, b, w in edges if a != b])
+
+
+def best_effort(mms: int = 500) -> RmsParams:
+    return RmsParams(
+        capacity=16 * 1024,
+        max_message_size=mms,
+        delay_bound=DelayBound(0.5, 1e-4),
+        delay_bound_type=DelayBoundType.BEST_EFFORT,
+    )
+
+
+def build_pair(edges):
+    """Two identical networks, engine on and off, plus the node names."""
+    networks = []
+    nodes = sorted({n for a, b, _ in edges for n in (a, b)})
+    for route_engine in (True, False):
+        context = SimContext(seed=1)
+        network = InternetNetwork(context, route_engine=route_engine)
+        for node in nodes:
+            network.attach(Host(context, f"n{node}"))
+        seen = set()
+        for a, b, weight in edges:
+            key = (min(a, b), max(a, b))
+            if key in seen:
+                continue
+            seen.add(key)
+            network.add_link(f"n{a}", f"n{b}", bandwidth=1e5,
+                             propagation_delay=weight)
+        networks.append(network)
+    return networks[0], networks[1], [f"n{n}" for n in nodes]
+
+
+class TestTableRouteExactness:
+    """The tentpole equivalence: a route reconstructed from a full-run
+    forwarding table is *exactly* the per-pair early-exit Dijkstra route
+    (same relaxations, same tie-breaks), for every pair."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(edges=edge_lists)
+    def test_engine_routes_equal_legacy_routes(self, edges):
+        if not edges:
+            return
+        engine_net, legacy_net, nodes = build_pair(edges)
+        for src in nodes:
+            for dst in nodes:
+                try:
+                    legacy_route = legacy_net.route_between(src, dst)
+                except RoutingError:
+                    with pytest.raises(RoutingError):
+                        engine_net.route_between(src, dst)
+                    continue
+                assert engine_net.route_between(src, dst) == legacy_route
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=edge_lists)
+    def test_can_reach_matches_route_existence(self, edges):
+        if not edges:
+            return
+        engine_net, legacy_net, nodes = build_pair(edges)
+        for src in nodes:
+            for dst in nodes:
+                assert (engine_net.can_reach(src, dst)
+                        == legacy_net.can_reach(src, dst))
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=edge_lists)
+    def test_path_profiles_equal(self, edges):
+        if not edges:
+            return
+        engine_net, legacy_net, nodes = build_pair(edges)
+        src, dst = nodes[0], nodes[-1]
+        if not legacy_net.can_reach(src, dst):
+            return
+        engine_profile = engine_net._path_profile(src, dst)
+        legacy_profile = legacy_net._path_profile(src, dst)
+        assert engine_profile[0] == legacy_profile[0]  # fixed delay
+        assert engine_profile[1] == legacy_profile[1]  # per-byte delay
+        assert list(engine_profile[2]) == list(legacy_profile[2])
+
+
+def diamond(route_engine: bool, seed: int = 7):
+    """a -- r1 -- (lossy r2 path | slow direct) -- r3 -- b."""
+    context = SimContext(seed=seed)
+    network = InternetNetwork(context, trusted=True,
+                              route_engine=route_engine)
+    for name in ("a", "b"):
+        network.attach(Host(context, name))
+    for name in ("r1", "r2", "r3"):
+        network.add_router(name)
+    network.add_link("a", "r1", bandwidth=2.5e5, propagation_delay=1e-3)
+    network.add_link("r1", "r2", bandwidth=1.25e5, propagation_delay=2e-3,
+                     frame_loss_rate=0.1)
+    network.add_link("r2", "r3", bandwidth=1.25e5, propagation_delay=2e-3,
+                     frame_loss_rate=0.1)
+    network.add_link("r1", "r3", bandwidth=6e4, propagation_delay=9e-3)
+    network.add_link("r3", "b", bandwidth=2.5e5, propagation_delay=1e-3)
+    return context, network
+
+
+def lossy_trace(route_engine: bool, messages: int = 60):
+    """Fixed-seed delivery trace of the lossy diamond."""
+    context, network = diamond(route_engine)
+    params = best_effort()
+    future = network.create_rms(Label("a"), Label("b"), params, params)
+    context.run(until=context.now + 2.0)
+    rms = future.result()
+    deliveries = []
+    rms.port.set_handler(
+        lambda message: deliveries.append(
+            (bytes(message.payload), context.now)
+        )
+    )
+    for index in range(messages):
+        rms.send(bytes([index % 251]) * 48)
+        if index % 8 == 7:
+            context.run(until=context.now + 0.05)
+    context.run(until=context.now + 3.0)
+    return deliveries, rms.stats.messages_sent, rms.stats.messages_delivered
+
+
+class TestEngineTraceEquivalence:
+    """Engine on vs off on one seed: byte-identical delivery traces.
+    The engine may change how fast the host simulates a static topology,
+    never what the topology does."""
+
+    def test_lossy_trace_identical(self):
+        engine = lossy_trace(route_engine=True)
+        legacy = lossy_trace(route_engine=False)
+        assert engine == legacy
+        deliveries, sent, delivered = engine
+        assert sent == 60
+        assert 0 < delivered < sent  # the loss model really fired
+        assert len(deliveries) == delivered
+
+    def test_lossless_trace_identical_and_complete(self):
+        def clean(route_engine):
+            context = SimContext(seed=3)
+            network = InternetNetwork(context, trusted=True,
+                                      route_engine=route_engine)
+            network.attach(Host(context, "a"))
+            network.attach(Host(context, "b"))
+            network.add_router("g")
+            network.add_link("a", "g", bandwidth=1e5,
+                             propagation_delay=1e-3)
+            network.add_link("g", "b", bandwidth=1e5,
+                             propagation_delay=1e-3)
+            params = best_effort()
+            future = network.create_rms(Label("a"), Label("b"),
+                                        params, params)
+            context.run(until=context.now + 1.0)
+            rms = future.result()
+            got = []
+            rms.port.set_handler(
+                lambda message: got.append(
+                    (bytes(message.payload), context.now)
+                )
+            )
+            for index in range(30):
+                rms.send(bytes([index]) * 64)
+            context.run(until=context.now + 3.0)
+            return got
+
+        engine = clean(True)
+        legacy = clean(False)
+        assert engine == legacy
+        assert len(engine) == 30
+
+
+def two_region_network():
+    """Two link-disjoint regions on one internetwork.
+
+    Region 1: h1 -- g1 -- g2 -- h2, with a slower bypass h1 -- g3 -- h2.
+    Region 2: h3 -- g4 -- h4 (no links shared with region 1).
+    """
+    context = SimContext(seed=5)
+    network = InternetNetwork(context, trusted=True)
+    for name in ("h1", "h2", "h3", "h4"):
+        network.attach(Host(context, name))
+    for name in ("g1", "g2", "g3", "g4"):
+        network.add_router(name)
+    network.add_link("h1", "g1", bandwidth=1e5, propagation_delay=1e-3)
+    network.add_link("g1", "g2", bandwidth=1e5, propagation_delay=2e-3)
+    network.add_link("g2", "h2", bandwidth=1e5, propagation_delay=1e-3)
+    network.add_link("h1", "g3", bandwidth=1e5, propagation_delay=0.05)
+    network.add_link("g3", "h2", bandwidth=1e5, propagation_delay=0.05)
+    network.add_link("h3", "g4", bandwidth=1e5, propagation_delay=1e-3)
+    network.add_link("g4", "h4", bandwidth=1e5, propagation_delay=1e-3)
+    return context, network
+
+
+class TestScopedInvalidation:
+    def test_fixed_topology_pays_no_tracking(self):
+        _, network = two_region_network()
+        engine = network._engine
+        network.route_between("h1", "h2")
+        network.route_between("h3", "h4")
+        assert not engine._track
+        assert engine._edge_tables == {} and engine._edge_plans == {}
+        # The first state change switches tracking on with one full
+        # invalidation.
+        invalidations = engine.full_invalidations
+        network.link("g1", "g2").set_down()
+        assert engine._track
+        assert engine.full_invalidations == invalidations + 1
+
+    def test_flap_spares_disjoint_routes_by_identity(self):
+        _, network = two_region_network()
+        engine = network._engine
+        # Prime tracking (first flap is the full-invalidation fallback).
+        network.link("g1", "g2").set_down()
+        network.link("g1", "g2").set_up()
+        network.link("g2", "g1").set_down()
+        network.link("g2", "g1").set_up()
+        short = network.route_between("h1", "h2")
+        assert short == ["h1", "g1", "g2", "h2"]
+        other_plan = network._engine.plan("h3", "h4")
+        other_table = engine.table("h3")
+        # Down: only region-1 state is touched.
+        network.link("g1", "g2").set_down()
+        assert engine.table("h3") is other_table
+        assert engine.plan("h3", "h4") is other_plan
+        assert not other_plan.dead
+        assert network.route_between("h1", "h2") == ["h1", "g3", "h2"]
+        # Up: the asymmetric side routes through the scoped probe, and
+        # the flapped link's routes recover...
+        network.link("g1", "g2").set_up()
+        assert network.route_between("h1", "h2") == short
+        # ...while the disjoint region still holds its exact objects.
+        assert engine.table("h3") is other_table
+        assert engine.plan("h3", "h4") is other_plan
+
+    def test_flapped_rms_fails_and_reestablishes(self):
+        context, network = two_region_network()
+        params = best_effort()
+        future = network.create_rms(Label("h1"), Label("h2"),
+                                    params, params)
+        context.run(until=context.now + 1.0)
+        rms = future.result()
+        reasons = []
+        rms.on_failure.listen(lambda r, reason: reasons.append(reason))
+        network.link("g1", "g2").set_down()
+        assert reasons  # the admitted route died with its link
+        # Re-establishment immediately finds the bypass...
+        retry = network.create_rms(Label("h1"), Label("h2"),
+                                   params, params)
+        context.run(until=context.now + 1.0)
+        assert retry.result().route == ["h1", "g3", "h2"]
+        # ...and after recovery new streams use the short path again.
+        network.link("g1", "g2").set_up()
+        final = network.create_rms(Label("h1"), Label("h2"),
+                                   params, params)
+        context.run(until=context.now + 1.0)
+        assert final.result().route == ["h1", "g1", "g2", "h2"]
+
+    def test_link_up_improvement_probe_is_scoped(self):
+        _, network = two_region_network()
+        engine = network._engine
+        network.link("g1", "g2").set_down()  # prime tracking
+        network.link("g1", "g2").set_up()
+        # Build tables for both regions under tracking.
+        assert network.route_between("h1", "h2") == ["h1", "g1", "g2", "h2"]
+        network.route_between("h3", "h4")
+        region2_table = engine.table("h3")
+        network.link("g1", "g2").set_down()
+        network.route_between("h1", "h2")  # rebuilt via the bypass
+        # The up-probe drops only sources the restored link improves:
+        # region 2 cannot use g1->g2 at all.
+        network.link("g1", "g2").set_up()
+        assert engine.table("h3") is region2_table
+        assert network.route_between("h1", "h2") == ["h1", "g1", "g2", "h2"]
+
+
+class TestCanReachProbe:
+    def test_can_reach_tracks_link_state(self):
+        _, network = two_region_network()
+        assert network.can_reach("h3", "h4")
+        network.link("h3", "g4").set_down()
+        network.link("g4", "h3").set_down()
+        assert not network.can_reach("h3", "h4")
+        network.link("h3", "g4").set_up()
+        network.link("g4", "h3").set_up()
+        assert network.can_reach("h3", "h4")
+
+    def test_can_reach_edge_cases(self):
+        _, network = two_region_network()
+        assert network.can_reach("h1", "h1")  # trivially reachable
+        assert not network.can_reach("h1", "nope")
+        assert not network.can_reach("nope", "h1")
+        # Cross-region: no links connect the regions.
+        assert not network.can_reach("h1", "h3")
+
+
+class TestNullPools:
+    def test_empty_route_uses_shared_module_pool(self):
+        _, network = two_region_network()
+        assert network._admission_pools(["h1"]) is NULL_POOLS
+        assert network._admission_pools([]) is NULL_POOLS
+        # Two networks share the same instance -- no per-call throwaway
+        # controllers.
+        _, other = two_region_network()
+        assert other._admission_pools(["h4"]) is NULL_POOLS
+
+    def test_shared_null_pool_admits_best_effort(self):
+        pool = NULL_POOLS[0]
+        reservation = pool.admit(10**9, best_effort())
+        try:
+            assert reservation.bandwidth == 0.0
+            assert reservation.buffer_bytes == 0
+        finally:
+            pool.release(10**9)
+
+
+class TestPlanDatapath:
+    def test_plan_is_cached_and_shared(self):
+        _, network = two_region_network()
+        plan = network._engine.plan("h1", "h2")
+        assert network._engine.plan("h1", "h2") is plan
+        # route_between returns the plan's shared route list.
+        assert network.route_between("h1", "h2") is plan.route
+
+    def test_rms_carries_its_plan(self):
+        context, network = two_region_network()
+        params = best_effort()
+        future = network.create_rms(Label("h1"), Label("h2"),
+                                    params, params)
+        context.run(until=context.now + 1.0)
+        rms = future.result()
+        assert rms.plan is not None
+        assert rms.plan.route == rms.route
+        got = []
+        rms.port.set_handler(got.append)
+        rms.send(b"x" * 200)
+        context.run(until=context.now + 1.0)
+        assert len(got) == 1
+
+    def test_repinning_route_drops_plan(self):
+        context, network = two_region_network()
+        params = best_effort()
+        future = network.create_rms(Label("h1"), Label("h2"),
+                                    params, params)
+        context.run(until=context.now + 1.0)
+        rms = future.result()
+        assert rms.plan is not None
+        rms.route = ["h1", "g3", "h2"]  # downmux-style pinning
+        assert rms.plan is None
+        got = []
+        rms.port.set_handler(got.append)
+        rms.send(b"y" * 100)
+        context.run(until=context.now + 1.0)
+        assert len(got) == 1  # forwarded along the pinned route
+
+    def test_engine_off_leaves_plan_none(self):
+        context = SimContext(seed=2)
+        network = InternetNetwork(context, trusted=True,
+                                  route_engine=False)
+        network.attach(Host(context, "a"))
+        network.attach(Host(context, "b"))
+        network.add_router("g")
+        network.add_link("a", "g", bandwidth=1e5, propagation_delay=1e-3)
+        network.add_link("g", "b", bandwidth=1e5, propagation_delay=1e-3)
+        params = best_effort()
+        future = network.create_rms(Label("a"), Label("b"), params, params)
+        context.run(until=context.now + 1.0)
+        rms = future.result()
+        assert rms.plan is None
+        assert network._route_plan("a", "b") is None
