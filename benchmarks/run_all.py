@@ -3,44 +3,37 @@
 
 Usage:  python benchmarks/run_all.py [e01 e05 ...]
 
-With no arguments, runs E1 through E18 in order.  Each experiment module
-exposes the uniform ``run(seed, out_dir)`` entry point (built by
-``common.make_run``); this runner simply chains them, so the output
-matches what the pytest benches assert on.  For multi-seed sweeps across
-worker processes use ``benchmarks/parallel.py``.
+With no arguments, runs every experiment in order.  The experiment
+list is *discovered*, not maintained by hand: every ``bench_e*.py``
+module in this directory is an experiment (sorted by filename, so the
+``eNN`` tag ordering holds), and each exposes the uniform
+``run(seed, out_dir)`` entry point built by ``common.make_run``.  A
+new bench is picked up by this runner, ``benchmarks/parallel.py``, and
+CI the moment the file lands.  For multi-seed sweeps across worker
+processes use ``benchmarks/parallel.py``.
 """
 
 from __future__ import annotations
 
+import glob
 import importlib
 import os
 import sys
 import time
 
-sys.path.insert(0, os.path.dirname(__file__))
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _BENCH_DIR)
 
-EXPERIMENTS = [
-    "bench_e01_portability",
-    "bench_e02_security_elision",
-    "bench_e03_capacity_bandwidth",
-    "bench_e04_piggybacking",
-    "bench_e05_deadline_scheduling",
-    "bench_e06_flow_control",
-    "bench_e07_rms_caching",
-    "bench_e08_admission",
-    "bench_e09_rkom_vs_baselines",
-    "bench_e10_fragmentation",
-    "bench_e11_congestion",
-    "bench_e12_application_mix",
-    "bench_e13_fast_ack",
-    "bench_e14_mux_rules_ablation",
-    "bench_e15_downward_mux",
-    "bench_e16_observability",
-    "bench_e17_resilience",
-    "bench_e18_fastpath",
-    "bench_e19_msgpath",
-    "bench_e20_batchdispatch",
-]
+
+def discover_experiments() -> list:
+    """Every ``bench_e*.py`` module name in this directory, sorted."""
+    return sorted(
+        os.path.splitext(os.path.basename(path))[0]
+        for path in glob.glob(os.path.join(_BENCH_DIR, "bench_e*.py"))
+    )
+
+
+EXPERIMENTS = discover_experiments()
 
 
 def main(argv) -> int:

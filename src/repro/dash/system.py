@@ -94,6 +94,7 @@ class DashSystem:
         name: str = "mesh0",
         st_config: Optional[StConfig] = None,
         network_kwargs: Optional[Dict] = None,
+        ecmp: Optional[bool] = None,
         **builder_kwargs,
     ) -> Tuple[InternetNetwork, Mesh]:
         """An internet router fabric with one DASH node per host slot.
@@ -102,7 +103,10 @@ class DashSystem:
         ``star``, ``two_tier``); ``builder_kwargs`` go to it (``rows``/
         ``cols``, ``arms``, ``spines``/``leaves``, ``hosts_per_*``,
         ``spec``...).  Every host slot becomes a full :class:`DashNode`
-        attached only to the mesh network.
+        attached only to the mesh network.  ``ecmp=True`` spreads
+        distinct flows across equal-cost trunks (shorthand for the
+        ``InternetNetwork`` flag of the same name; ``two_tier`` is the
+        fabric with real path diversity to exploit).
         """
         try:
             builder = self._MESH_BUILDERS[kind]
@@ -111,7 +115,10 @@ class DashSystem:
                 f"unknown mesh kind {kind!r}; one of "
                 f"{sorted(self._MESH_BUILDERS)}"
             ) from None
-        network = self.add_internet(name, **(network_kwargs or {}))
+        network_kwargs = dict(network_kwargs or {})
+        if ecmp is not None:
+            network_kwargs["ecmp"] = ecmp
+        network = self.add_internet(name, **network_kwargs)
 
         def attach_node(net: Network, host_name: str) -> str:
             self.add_node(host_name, network_names=[name], st_config=st_config)

@@ -55,6 +55,8 @@ class InternetNetwork(Network):
         queue_policy: str = "edf",
         link_batching: bool = True,
         route_engine: bool = True,
+        ecmp: bool = False,
+        ecmp_max_paths: int = 8,
     ) -> None:
         properties = NetworkProperties(
             trusted=trusted,
@@ -75,7 +77,15 @@ class InternetNetwork(Network):
         #: falls back to the per-pair Dijkstra with whole-cache clears
         #: (kept as the E22 ablation baseline).
         self.route_engine = route_engine
-        self._engine = ForwardingEngine(self)
+        #: Spread distinct flows across equal-cost shortest paths.  Off
+        #: by default: the single-path engine is the ablation arm and
+        #: byte-identical with the legacy resolver.  Requires the route
+        #: engine (ECMP lives in its predecessor-DAG bookkeeping).
+        self.ecmp = ecmp and route_engine
+        self.ecmp_max_paths = ecmp_max_paths
+        self._engine = ForwardingEngine(
+            self, ecmp=self.ecmp, max_paths=ecmp_max_paths
+        )
         self._link_edges: Dict[Link, Tuple[str, str]] = {}
         #: Shortest-path searches run (one per table build with the
         #: engine, one per cache-missing pair without it).
@@ -341,9 +351,11 @@ class InternetNetwork(Network):
             per_byte += 1.0 / link.bandwidth
         return fixed, per_byte, route
 
-    def _route_plan(self, src: str, dst: str) -> Optional[RoutePlan]:
+    def _route_plan(
+        self, src: str, dst: str, flow: Optional[int] = None
+    ) -> Optional[RoutePlan]:
         if self.route_engine:
-            return self._engine.plan(src, dst)
+            return self._engine.plan_for_flow(src, dst, flow)
         return None
 
     def _admission_pools(self, route: List[str]) -> List[AdmissionController]:

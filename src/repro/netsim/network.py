@@ -88,6 +88,10 @@ class NetworkRms(Rms):
         #: admitted route is the contract -- and a dead on-route link
         #: fails the RMS through the usual notification path.
         self.plan = None
+        #: Flow identity used for ECMP plan pinning: a small per-(src,
+        #: dst) sequence number assigned at creation, deterministic per
+        #: run (unlike the process-global rms_id counter).
+        self.flow_key = 0
         self.route = []  # filled by routed networks
         self.established = False
 
@@ -246,6 +250,9 @@ class Network:
         #: this off (see EthernetNetwork.add_sniffer).
         self._frame_pool = ObjectPool(cap=256)
         self._pool_frames = True
+        #: Per-(src, dst) flow sequence numbers: deterministic per run,
+        #: so ECMP path pinning is reproducible from the seed alone.
+        self._flow_ids: Dict[Tuple[str, str], int] = {}
 
     # -- topology ---------------------------------------------------------
 
@@ -350,14 +357,28 @@ class Network:
         """(fixed seconds, seconds/byte, route node names) for a pair."""
         raise NotImplementedError
 
-    def _route_plan(self, src: str, dst: str):
-        """Compiled forwarding plan for a pair, or ``None``.
+    def _route_plan(self, src: str, dst: str, flow: Optional[int] = None):
+        """Compiled forwarding plan for a pair (and flow), or ``None``.
 
         Networks without hop-by-hop forwarding (or with the engine
         disabled) return ``None`` and streams use the generic
-        ``_transmit_frame`` path.
+        ``_transmit_frame`` path.  ``flow`` selects among equal-cost
+        plans when the network runs ECMP; ``None`` always resolves the
+        canonical single path.
         """
         return None
+
+    def _next_flow(self, src: str, dst: str) -> int:
+        """The next flow sequence number for a (src, dst) pair.
+
+        Deterministic per run: the counter is per network instance and
+        advances once per RMS creation, so repeated builds from the
+        same seed pin the same flows to the same equal-cost paths.
+        """
+        key = (src, dst)
+        flow = self._flow_ids.get(key, 0)
+        self._flow_ids[key] = flow + 1
+        return flow
 
     def _admission_pools(self, route: List[str]) -> List[AdmissionController]:
         raise NotImplementedError
@@ -405,6 +426,7 @@ class Network:
         receiver: Label,
         desired: RmsParams,
         acceptable: RmsParams,
+        flow: Optional[int] = None,
     ) -> Future:
         """Create a network RMS between two attached hosts.
 
@@ -412,7 +434,10 @@ class Network:
         :class:`NegotiationError` / :class:`AdmissionError` on
         rejection); the returned future resolves to the
         :class:`NetworkRms` once the setup handshake (one network round
-        trip) completes.
+        trip) completes.  ``flow`` overrides the stream's flow identity
+        for ECMP path pinning; by default each (src, dst) pair hands
+        out sequence numbers, so successive streams between the same
+        hosts spread across equal-cost paths.
         """
         self._require_host(sender.host)
         self._require_host(receiver.host)
@@ -427,8 +452,17 @@ class Network:
             network=self,
             name=f"{self.name}.rms{next(_setup_ids)}",
         )
+        if flow is None:
+            flow = self._next_flow(sender.host, receiver.host)
+        plan = self._route_plan(sender.host, receiver.host, flow)
+        if plan is not None:
+            # The pinned plan's path is the admitted contract: route and
+            # reservations both follow it (it may be an equal-cost
+            # sibling of the canonical shortest path under ECMP).
+            route = plan.route
+        rms.flow_key = flow
         rms.route = route
-        rms.plan = self._route_plan(sender.host, receiver.host)
+        rms.plan = plan
         admitted: List[AdmissionController] = []
         try:
             for pool in self._admission_pools(route):

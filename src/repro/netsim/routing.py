@@ -24,6 +24,19 @@ on the hot path.  This module amortizes and scopes that work:
   test.  The per-frame drop callback rides on the frame itself
   (``Frame.on_drop``) instead of being captured per hop per frame.
 
+* **Equal-cost multipath (ECMP)** -- with ``ecmp=True`` the same full
+  run also records *every* equal-cost predecessor per node, turning the
+  shortest-path tree into a DAG.  Per (src, dst) the engine enumerates
+  a bounded, deterministic set of equal-cost routes (`PathSet`) and
+  pins each *flow* -- identified by a small integer threaded down from
+  the RMS layer -- to one of them via a seed-independent hash
+  (``zlib.crc32``, never Python's salted ``hash``).  A flow keeps
+  byte-identical in-order delivery on its pinned plan while distinct
+  flows spread across the parallel trunks.  Tie-free topologies
+  enumerate exactly one route and hand out the *same* canonical plan
+  object as the single-path engine, so their traces are byte-identical
+  by construction.
+
 * **Scoped invalidation** -- reverse indexes map each directed edge to
   the tables whose shortest-path tree uses it and the plans that
   traverse it.  A link going *down* only removes paths, so every
@@ -31,14 +44,20 @@ on the hot path.  This module amortizes and scopes that work:
   dependents are dropped.  A link coming *up* can improve any route,
   but only for sources where ``dist(src, u) + w(u, v) < dist(src, v)``
   -- an O(sources) probe against the cached distance maps identifies
-  exactly those, and disjoint routes are untouched.
+  exactly those, and disjoint routes are untouched.  Under ECMP the
+  down case gets gentler still: if a flapped edge (u, v) leaves
+  ``preds[v]`` non-empty, the distances are all still optimal, so the
+  table survives with the DAG pruned in place (no rebuild) and only
+  the route plans pinned *through* the edge die; surviving equal-cost
+  siblings absorb re-established flows.  The up probe widens to
+  ``<=`` so restored cost-ties re-enter the DAG.
 
 * **Fixed-topology fast path** -- none of the index bookkeeping runs
   until the first link state change.  A static topology (the common
   bench case) pays nothing for invalidation support; the first churn
   event falls back to one full invalidation and switches tracking on.
 
-Known divergence (documented in DESIGN.md 8.7): after a link comes
+Known divergence (documented in DESIGN.md 8.7/8.8): after a link comes
 back up, a surviving table may keep a cached route that *ties* a path
 through the restored link; a from-scratch Dijkstra could tie-break the
 other way.  Costs are always equal, and static topologies are exact.
@@ -47,7 +66,8 @@ other way.  Costs are always equal, and static topologies are exact.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Callable, Dict, List, Set, Tuple
+import zlib
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import RoutingError
 from repro.netsim.admission import NULL_POOLS
@@ -56,15 +76,32 @@ from repro.netsim.packet import FRAME_OVERHEAD_BYTES, Frame
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.internet import InternetNetwork
 
-__all__ = ["ForwardingTable", "RoutePlan", "ForwardingEngine"]
+__all__ = [
+    "ForwardingTable",
+    "RoutePlan",
+    "PathSet",
+    "ForwardingEngine",
+    "flow_hash",
+]
 
 _EdgeKey = Tuple[str, str]
+
+
+def flow_hash(src: str, dst: str, flow: int) -> int:
+    """A deterministic, process-independent hash of one flow's identity.
+
+    Python's builtin ``hash`` is salted per interpreter, which would make
+    path pinning irreproducible across runs; CRC-32 over the canonical
+    flow label is stable everywhere and cheap enough for a once-per-RMS
+    operation.
+    """
+    return zlib.crc32(f"{src}|{dst}|{flow}".encode("ascii", "replace"))
 
 
 class ForwardingTable:
     """One source's shortest paths to every reachable node."""
 
-    __slots__ = ("src", "dist", "prev", "epoch")
+    __slots__ = ("src", "dist", "prev", "preds", "epoch")
 
     def __init__(
         self,
@@ -72,6 +109,7 @@ class ForwardingTable:
         dist: Dict[str, float],
         prev: Dict[str, str],
         epoch: int,
+        preds: Optional[Dict[str, List[str]]] = None,
     ) -> None:
         self.src = src
         #: Final shortest distance per reachable node (reachability is a
@@ -80,6 +118,10 @@ class ForwardingTable:
         #: Shortest-path-tree predecessor per reachable node (except the
         #: source itself); routes are reconstructed by walking it.
         self.prev = prev
+        #: ECMP only: *all* equal-cost predecessors per node, in settle
+        #: order, with the invariant ``preds[v][0] == prev[v]``.  None
+        #: when the engine runs single-path.
+        self.preds = preds
         self.epoch = epoch
 
     def __repr__(self) -> str:
@@ -120,24 +162,73 @@ class RoutePlan:
         return f"<RoutePlan {self.src}->{self.dst} hops={len(self.links)} {state}>"
 
 
+class PathSet:
+    """The bounded equal-cost route set for one (src, dst) pair.
+
+    ``routes[0]`` starts as the canonical predecessor-tree route (the
+    one the single-path engine would compile); plans are compiled
+    lazily, one per pinned route, and cached in ``plans`` parallel to
+    ``routes``.  Scoped invalidation prunes routes in place.
+    """
+
+    __slots__ = ("src", "dst", "routes", "plans", "epoch")
+
+    def __init__(
+        self, src: str, dst: str, routes: List[List[str]], epoch: int
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.routes = routes
+        self.plans: List[Optional[RoutePlan]] = [None] * len(routes)
+        self.epoch = epoch
+
+    def __repr__(self) -> str:
+        return (
+            f"<PathSet {self.src}->{self.dst} routes={len(self.routes)} "
+            f"epoch={self.epoch}>"
+        )
+
+
 class ForwardingEngine:
     """Next-hop tables, compiled plans, and scoped invalidation for one
     :class:`~repro.netsim.internet.InternetNetwork`."""
 
-    def __init__(self, network: "InternetNetwork") -> None:
+    def __init__(
+        self,
+        network: "InternetNetwork",
+        ecmp: bool = False,
+        max_paths: int = 8,
+    ) -> None:
         self.network = network
+        #: Spread flows across equal-cost routes when True; the default
+        #: single-path mode reproduces the legacy resolver exactly.
+        self.ecmp = ecmp
+        #: Cap on enumerated equal-cost routes per (src, dst); the DFS
+        #: over the predecessor DAG stops once the bound is reached, in
+        #: deterministic settle order, so the bound never introduces
+        #: nondeterminism.
+        self.max_paths = max(1, max_paths)
         self._tables: Dict[str, ForwardingTable] = {}
         self._plans: Dict[Tuple[str, str], RoutePlan] = {}
+        self._pathsets: Dict[Tuple[str, str], PathSet] = {}
         #: Reverse indexes, maintained only once churn has been seen
         #: (the fixed-topology fast path skips this bookkeeping).
         self._edge_tables: Dict[_EdgeKey, Set[str]] = {}
         self._edge_plans: Dict[_EdgeKey, List[RoutePlan]] = {}
         self._src_plans: Dict[str, List[RoutePlan]] = {}
+        self._edge_pathsets: Dict[_EdgeKey, List[PathSet]] = {}
+        self._src_pathsets: Dict[str, List[PathSet]] = {}
+        #: Path sets that lost routes to a downed edge, keyed by it: the
+        #: matching link_up drops them so the restored siblings rejoin.
+        self._edge_pruned: Dict[_EdgeKey, List[PathSet]] = {}
         self._track = False
         self.epoch = 0
         # Introspection counters (bench telemetry).
         self.table_builds = 0
         self.plan_compiles = 0
+        self.pathset_builds = 0
+        self.flow_pins = 0
+        self.dag_prunes = 0
         self.scoped_table_drops = 0
         self.scoped_plan_drops = 0
         self.full_invalidations = 0
@@ -155,12 +246,16 @@ class ForwardingEngine:
         # One full-run Dijkstra: identical float operations, relaxation
         # order, and tie-breaking as the legacy per-pair search, minus
         # the early exit -- so reconstructed routes match it exactly.
+        # Under ECMP the only extra work is the equal-cost bookkeeping:
+        # a strict improvement resets preds[v], an exact tie appends, so
+        # preds[v][0] is always the canonical tree predecessor.
         network = self.network
         weight_of = network._link_weight
         links = network._links
         adjacency = network._adjacency
         distances: Dict[str, float] = {src: 0.0}
         previous: Dict[str, str] = {}
+        preds: Optional[Dict[str, List[str]]] = {} if self.ecmp else None
         heap: List[Tuple[float, str]] = [(0.0, src)]
         visited: Set[str] = set()
         inf = float("inf")
@@ -176,22 +271,34 @@ class ForwardingEngine:
                 if weight == inf:
                     continue
                 candidate = dist + weight
-                if candidate < distances.get(neighbor, inf):
+                best = distances.get(neighbor, inf)
+                if candidate < best:
                     distances[neighbor] = candidate
                     previous[neighbor] = node
+                    if preds is not None:
+                        preds[neighbor] = [node]
                     heapq.heappush(heap, (candidate, neighbor))
-        table = ForwardingTable(src, distances, previous, self.epoch)
+                elif preds is not None and candidate == best:
+                    preds[neighbor].append(node)
+        table = ForwardingTable(src, distances, previous, self.epoch, preds)
         self._tables[src] = table
         self.table_builds += 1
         network.route_resolutions += 1
         if self._track:
             edge_tables = self._edge_tables
-            for node, prev_node in previous.items():
-                edge_tables.setdefault((prev_node, node), set()).add(src)
+            if preds is not None:
+                # Every DAG edge, not just the tree: pruning needs to
+                # find the table from any flapped equal-cost sibling.
+                for node, plist in preds.items():
+                    for pred_node in plist:
+                        edge_tables.setdefault((pred_node, node), set()).add(src)
+            else:
+                for node, prev_node in previous.items():
+                    edge_tables.setdefault((prev_node, node), set()).add(src)
         return table
 
     def plan(self, src: str, dst: str) -> RoutePlan:
-        """The compiled plan for (src, dst); raises RoutingError."""
+        """The compiled canonical plan for (src, dst); raises RoutingError."""
         key = (src, dst)
         plan = self._plans.get(key)
         if plan is not None:
@@ -214,6 +321,94 @@ class ForwardingEngine:
         while route[-1] != src:
             route.append(prev[route[-1]])
         route.reverse()
+        plan = self._compile_plan(src, dst, route)
+        self._plans[key] = plan
+        return plan
+
+    def plan_for_flow(self, src: str, dst: str, flow: Optional[int]) -> RoutePlan:
+        """The compiled plan a given flow is pinned to.
+
+        Single-path mode, an anonymous flow, or a tie-free pair all
+        resolve to the canonical :meth:`plan` (same object, so tie-free
+        ECMP traces are byte-identical to the single-path engine).  With
+        real equal-cost alternatives the flow hash picks one route and
+        the pinned plan is compiled lazily and cached in the PathSet.
+        """
+        if not self.ecmp or flow is None or src == dst:
+            return self.plan(src, dst)
+        pathset = self._pathset(src, dst)
+        routes = pathset.routes
+        if len(routes) == 1:
+            return self.plan(src, dst)
+        index = flow_hash(src, dst, flow) % len(routes)
+        plan = pathset.plans[index]
+        if plan is None or plan.dead:
+            plan = self._compile_plan(src, dst, routes[index])
+            pathset.plans[index] = plan
+        self.flow_pins += 1
+        return plan
+
+    def pathset(self, src: str, dst: str) -> PathSet:
+        """The equal-cost route set for (src, dst) (ECMP mode only)."""
+        if not self.ecmp:
+            raise RoutingError("pathset() requires ecmp=True")
+        return self._pathset(src, dst)
+
+    def _pathset(self, src: str, dst: str) -> PathSet:
+        key = (src, dst)
+        pathset = self._pathsets.get(key)
+        if pathset is not None:
+            return pathset
+        network = self.network
+        if not network._node_exists(src) or not network._node_exists(dst):
+            raise RoutingError(f"unknown endpoint in {src}->{dst}")
+        table = self.table(src)
+        if dst not in table.prev:
+            raise RoutingError(f"no route from {src} to {dst} in {network.name}")
+        routes = self._enumerate_routes(table, src, dst)
+        pathset = PathSet(src, dst, routes, self.epoch)
+        self._pathsets[key] = pathset
+        self.pathset_builds += 1
+        if self._track:
+            edge_pathsets = self._edge_pathsets
+            for route in routes:
+                for i in range(len(route) - 1):
+                    edge_pathsets.setdefault(
+                        (route[i], route[i + 1]), []
+                    ).append(pathset)
+            self._src_pathsets.setdefault(src, []).append(pathset)
+        return pathset
+
+    def _enumerate_routes(
+        self, table: ForwardingTable, src: str, dst: str
+    ) -> List[List[str]]:
+        # Bounded DFS over the predecessor DAG, walking backwards from
+        # the destination.  Predecessor lists are in settle order and
+        # preds[v][0] == prev[v], so the first emitted route is exactly
+        # the canonical tree route and the whole enumeration order is
+        # deterministic; the bound truncates it without reordering.
+        preds = table.preds
+        assert preds is not None
+        bound = self.max_paths
+        routes: List[List[str]] = []
+        suffix = [dst]
+
+        def walk(node: str) -> None:
+            if node == src:
+                routes.append(list(reversed(suffix)))
+                return
+            for pred_node in preds[node]:
+                if len(routes) >= bound:
+                    return
+                suffix.append(pred_node)
+                walk(pred_node)
+                suffix.pop()
+
+        walk(dst)
+        return routes
+
+    def _compile_plan(self, src: str, dst: str, route: List[str]) -> RoutePlan:
+        network = self.network
         plan = RoutePlan(src, dst, route, self.epoch)
         links = []
         pools = []
@@ -237,7 +432,6 @@ class ForwardingEngine:
         plan.delivers = tuple(
             self._make_deliver(plan, i + 1) for i in range(len(links))
         )
-        self._plans[key] = plan
         self.plan_compiles += 1
         if self._track:
             edge_plans = self._edge_plans
@@ -295,11 +489,19 @@ class ForwardingEngine:
         churn event before tracking was on)."""
         for plan in self._plans.values():
             plan.dead = True
+        for pathset in self._pathsets.values():
+            for plan in pathset.plans:
+                if plan is not None:
+                    plan.dead = True
         self._plans.clear()
         self._tables.clear()
+        self._pathsets.clear()
         self._edge_tables.clear()
         self._edge_plans.clear()
         self._src_plans.clear()
+        self._edge_pathsets.clear()
+        self._src_pathsets.clear()
+        self._edge_pruned.clear()
         self.epoch += 1
         self.full_invalidations += 1
 
@@ -317,43 +519,113 @@ class ForwardingEngine:
             del self._plans[key]
         self.scoped_plan_drops += 1
 
+    def _drop_pathset(self, pathset: PathSet) -> None:
+        key = (pathset.src, pathset.dst)
+        if self._pathsets.get(key) is pathset:
+            del self._pathsets[key]
+        for plan in pathset.plans:
+            if plan is not None and not plan.dead:
+                self._kill_plan(plan)
+
+    def _prune_pathset(self, pathset: PathSet, u: str, v: str) -> None:
+        # Distances are unchanged (link removal can't shorten anything),
+        # so every surviving enumerated route is still cost-optimal:
+        # filter out the routes through (u, v), keep the rest in place.
+        key = (pathset.src, pathset.dst)
+        if self._pathsets.get(key) is not pathset:
+            return  # stale index entry for an already-replaced set
+        keep_routes: List[List[str]] = []
+        keep_plans: List[Optional[RoutePlan]] = []
+        for route, plan in zip(pathset.routes, pathset.plans):
+            on_edge = any(
+                route[i] == u and route[i + 1] == v
+                for i in range(len(route) - 1)
+            )
+            if on_edge:
+                if plan is not None and not plan.dead:
+                    self._kill_plan(plan)
+            else:
+                keep_routes.append(route)
+                keep_plans.append(plan)
+        if keep_routes and len(keep_routes) < len(pathset.routes):
+            pathset.routes = keep_routes
+            pathset.plans = keep_plans
+            # Remember the prune so the matching link_up restores the
+            # lost siblings by rebuilding the (now stale) set.
+            self._edge_pruned.setdefault((u, v), []).append(pathset)
+        elif not keep_routes:
+            del self._pathsets[key]
+
     def link_down(self, u: str, v: str) -> None:
         """A link died: routes that avoid it are still shortest (the
-        path set only shrank), so drop exactly the indexed dependents."""
+        path set only shrank), so drop exactly the indexed dependents.
+
+        Under ECMP a table whose DAG loses edge (u, v) but keeps another
+        predecessor into ``v`` still has optimal distances everywhere:
+        prune the DAG in place instead of dropping the table, and let
+        the surviving equal-cost siblings carry re-pinned flows."""
         if not self._track:
             self._start_tracking()
             return
-        for src in self._edge_tables.pop((u, v), ()):
-            if self._tables.pop(src, None) is not None:
-                self.scoped_table_drops += 1
-        for plan in self._edge_plans.pop((u, v), ()):
+        edge = (u, v)
+        for src in self._edge_tables.pop(edge, ()):
+            table = self._tables.get(src)
+            if table is None:
+                continue
+            preds = table.preds
+            if preds is not None:
+                plist = preds.get(v)
+                if plist is not None and u in plist and len(plist) > 1:
+                    plist.remove(u)
+                    if table.prev.get(v) == u:
+                        table.prev[v] = plist[0]
+                    self.dag_prunes += 1
+                    continue
+            del self._tables[src]
+            self.scoped_table_drops += 1
+        for plan in self._edge_plans.pop(edge, ()):
             if not plan.dead:
                 self._kill_plan(plan)
+        for pathset in self._edge_pathsets.pop(edge, ()):
+            self._prune_pathset(pathset, u, v)
 
     def link_up(self, u: str, v: str) -> None:
         """A link recovered: it can only improve a source's routes when
         ``dist(src, u) + w < dist(src, v)`` -- probe the cached distance
-        maps and drop exactly those sources (and their plans)."""
+        maps and drop exactly those sources (and their plans).  Under
+        ECMP a restored *tie* (``<=``) also matters: it re-enters the
+        equal-cost DAG, so tying sources are dropped too, and path sets
+        previously pruned by this edge are rebuilt on next use."""
         if not self._track:
             self._start_tracking()
             return
         weight = self.network._link_weight(u, v)
         inf = float("inf")
-        affected = [
-            src
-            for src, table in self._tables.items()
-            if table.dist.get(u, inf) + weight < table.dist.get(v, inf)
-        ]
+        ecmp = self.ecmp
+        affected = []
+        for src, table in self._tables.items():
+            dist_u = table.dist.get(u, inf)
+            dist_v = table.dist.get(v, inf)
+            candidate = dist_u + weight
+            if candidate < dist_v or (
+                ecmp and dist_v != inf and candidate == dist_v
+            ):
+                affected.append(src)
         for src in affected:
             del self._tables[src]
             self.scoped_table_drops += 1
             for plan in self._src_plans.pop(src, ()):
                 if not plan.dead:
                     self._kill_plan(plan)
+            for pathset in self._src_pathsets.pop(src, ()):
+                self._drop_pathset(pathset)
+        for pathset in self._edge_pruned.pop((u, v), ()):
+            self._drop_pathset(pathset)
 
     def __repr__(self) -> str:
         return (
             f"<ForwardingEngine tables={len(self._tables)} "
-            f"plans={len(self._plans)} epoch={self.epoch} "
+            f"plans={len(self._plans)} pathsets={len(self._pathsets)} "
+            f"ecmp={self.ecmp} epoch={self.epoch} "
             f"tracking={self._track}>"
         )

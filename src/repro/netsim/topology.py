@@ -465,6 +465,16 @@ class Mesh:
         return f"<Mesh routers={len(self.routers)} hosts={len(self.hosts)}>"
 
 
+def _require_size(value: int, floor: int, what: str, why: str) -> None:
+    # Builder shape validation.  Degenerate sizes used to produce
+    # *silently* broken meshes (a 1xN "grid" is a chain, a single-spine
+    # "fabric" has no path diversity); reject them loudly instead.
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{what} must be an integer, got {value!r}")
+    if value < floor:
+        raise ValueError(f"{what} must be >= {floor} ({why}), got {value}")
+
+
 def _default_attach_host(network, name: str) -> str:
     network.attach(Host(network.context, name))
     return name
@@ -498,8 +508,9 @@ def build_grid(
     Worst-case paths are ``rows + cols`` hops, so this is the builder
     that stresses multi-hop forwarding cost.
     """
-    if rows < 1 or cols < 1:
-        raise NetworkError("grid needs at least one row and column")
+    _require_size(rows, 2, "grid rows", "a 1xN grid degenerates to a chain")
+    _require_size(cols, 2, "grid cols", "an Nx1 grid degenerates to a chain")
+    _require_size(hosts_per_router, 0, "hosts_per_router", "cannot be negative")
     spec = spec or MeshSpec()
     mesh = Mesh([], [], {})
     for row in range(rows):
@@ -546,8 +557,8 @@ def build_star_of_routers(
     The degenerate fabric: invalidating a core-adjacent link touches
     most routes, so this is the builder that stresses invalidation.
     """
-    if arms < 1:
-        raise NetworkError("star needs at least one arm")
+    _require_size(arms, 2, "star arms", "one arm has no cross-arm traffic")
+    _require_size(hosts_per_arm, 0, "hosts_per_arm", "cannot be negative")
     spec = spec or MeshSpec()
     mesh = Mesh([], [], {})
     network.add_router(core_name)
@@ -581,10 +592,14 @@ def build_two_tier(
     """A fat-tree-ish spine/leaf fabric: full spine-leaf bipartite trunks.
 
     Many equal-cost two-trunk paths cross the core, so this is the
-    builder that stresses tie-breaking stability and table reuse.
+    builder that stresses tie-breaking stability and table reuse (and,
+    under ECMP, flow spreading across the spine trunks).
     """
-    if spines < 1 or leaves < 1:
-        raise NetworkError("two-tier fabric needs spines and leaves")
+    _require_size(spines, 2, "two-tier spines",
+                  "a single spine has no equal-cost path diversity")
+    _require_size(leaves, 2, "two-tier leaves",
+                  "one leaf has no inter-leaf traffic")
+    _require_size(hosts_per_leaf, 0, "hosts_per_leaf", "cannot be negative")
     spec = spec or MeshSpec()
     mesh = Mesh([], [], {})
     for spine in range(spines):

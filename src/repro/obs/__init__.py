@@ -31,6 +31,7 @@ from repro.obs.export import (
     write_metrics_json,
     write_spans_jsonl,
 )
+from repro.obs.linkutil import LinkUtilizationCollector, jain_fairness
 from repro.obs.registry import (
     Counter,
     DEFAULT_LATENCY_BUCKETS,
@@ -61,6 +62,8 @@ __all__ = [
     "Observability",
     "NullObservability",
     "DEFAULT_LATENCY_BUCKETS",
+    "LinkUtilizationCollector",
+    "jain_fairness",
     "metrics_payload",
     "write_metrics_json",
     "span_lines",

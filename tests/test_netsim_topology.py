@@ -344,12 +344,31 @@ class TestMeshBuilders:
             build_grid, build_star_of_routers, build_two_tier,
         )
         context, network = self._internet()
-        with pytest.raises(NetworkError):
+        with pytest.raises(ValueError, match="grid rows"):
             build_grid(network, 0, 3)
-        with pytest.raises(NetworkError):
+        # A 1xN "grid" is a chain, not a mesh: rejected loudly rather
+        # than built silently.
+        with pytest.raises(ValueError, match="chain"):
+            build_grid(network, 1, 5)
+        with pytest.raises(ValueError, match="chain"):
+            build_grid(network, 3, 1)
+        with pytest.raises(ValueError, match="hosts_per_router"):
+            build_grid(network, 2, 2, hosts_per_router=-1)
+        with pytest.raises(ValueError, match="star arms"):
             build_star_of_routers(network, arms=0)
-        with pytest.raises(NetworkError):
+        with pytest.raises(ValueError, match="star arms"):
+            build_star_of_routers(network, arms=1)
+        with pytest.raises(ValueError, match="spines"):
             build_two_tier(network, spines=0, leaves=2)
+        # A single-spine fabric has no equal-cost diversity at all.
+        with pytest.raises(ValueError, match="single spine"):
+            build_two_tier(network, spines=1, leaves=3)
+        with pytest.raises(ValueError, match="leaves"):
+            build_two_tier(network, spines=2, leaves=1)
+        with pytest.raises(ValueError, match="integer"):
+            build_grid(network, 2.0, 2)
+        # Nothing was half-built by the rejected calls.
+        assert not network.routers
 
     def test_dash_system_add_mesh(self):
         from repro.dash.system import DashSystem
